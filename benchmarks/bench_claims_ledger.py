@@ -1,0 +1,29 @@
+"""The claims ledger as a bench: every paper claim, verdict, evidence.
+
+`repro.analysis.claims.CLAIMS` registers each quantitative statement in
+the paper with an executable check; this bench runs the whole ledger and
+persists the verdict table alongside the figure/table reproductions.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.claims import CLAIMS
+
+
+def test_full_ledger(benchmark, emit):
+    rows = []
+    failures = []
+    for claim in CLAIMS:
+        ok, evidence = claim.check()
+        if not ok:
+            failures.append(claim.id)
+        rows.append([claim.id, claim.section, "PASS" if ok else "FAIL", evidence])
+    assert not failures, failures
+    emit(
+        format_table(
+            ["claim", "paper section", "verdict", "evidence"],
+            rows,
+            title=f"Claims ledger: {len(CLAIMS)}/{len(CLAIMS)} verified",
+        )
+    )
+    fast = [c for c in CLAIMS if c.id in ("T1", "C11", "C13")]
+    benchmark(lambda: [c.check() for c in fast])

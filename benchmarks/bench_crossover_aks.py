@@ -1,0 +1,98 @@
+"""Abstract / Sections I & V — the AKS and Batcher comparisons.
+
+Regenerates the two quantitative framing claims:
+
+* "our complexities outperform those of the AKS sorting network until n
+  becomes extremely large" — the time crossover lands near n = 2^78
+  with Paterson's c = 6100, and the cost crossover never happens;
+* "improves the cost complexity of Batcher's binary sorters by a factor
+  of O(lg^2 n) while matching their sorting time".
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis import (
+    aks_cost_crossover,
+    aks_time_crossover,
+    batcher_improvement_factor,
+    format_table,
+)
+from repro.baselines.aks import AKSModel
+from repro.baselines.batcher import build_odd_even_merge_sorter
+from repro.core.fish_sorter import FishSorter
+
+
+def test_aks_crossovers(benchmark, emit):
+    time_cx = aks_time_crossover()
+    cost_cx = aks_cost_crossover()
+    assert time_cx.lg_n is not None and time_cx.lg_n > 60
+    assert cost_cx.lg_n is None
+    rows = [
+        ["sorting time: fish lg^3 n vs AKS 6100 lg n", time_cx.description],
+        ["cost: Network 1's 3 n lg n vs AKS (6100/2) n lg n", cost_cx.description],
+    ]
+    sweep = []
+    for c in (1000.0, 6100.0, 100000.0):
+        from repro.analysis import find_crossover
+
+        cx = find_crossover(
+            ours=lambda n: math.log2(n) ** 3,
+            theirs=AKSModel(c).sorting_time,
+        )
+        sweep.append([c, cx.description])
+    emit(
+        format_table(["comparison", "crossover"], rows,
+                     title="AKS crossover claims (abstract / Section V)")
+        + "\n\n"
+        + format_table(["AKS depth constant", "time crossover"], sweep,
+                       title="sensitivity to the AKS constant")
+    )
+    benchmark(aks_time_crossover)
+
+
+def test_batcher_improvement_factor(benchmark, emit):
+    """Measured Batcher/fish cost ratio grows ~lg^2 n (abstract claim)."""
+    rows = []
+    ratios = []
+    for n in (64, 256, 1024, 4096):
+        fish = FishSorter(n).cost()
+        batcher = build_odd_even_merge_sorter(n).cost()
+        lg2 = math.log2(n) ** 2
+        ratios.append(batcher / fish)
+        rows.append([n, batcher, fish, round(batcher / fish, 2),
+                     round((batcher / fish) / lg2, 4)])
+    assert ratios == sorted(ratios)  # strictly improving with n
+    # normalized ratio (ratio / lg^2 n) roughly flat-to-rising: O(lg^2 n)
+    emit(
+        format_table(
+            ["n", "Batcher cost", "fish cost", "ratio", "ratio / lg^2 n"],
+            rows,
+            title="Batcher vs fish: the O(lg^2 n) cost-improvement factor",
+        )
+    )
+    benchmark(batcher_improvement_factor, 2.0 ** 20)
+
+
+def test_matching_sorting_time(benchmark, emit):
+    """'...while matching their sorting time': both are O(lg^2 n)."""
+    rows = []
+    for n in (64, 256, 1024):
+        batcher_t = build_odd_even_merge_sorter(n).depth()
+        fs = FishSorter(n)
+        _, rep = fs.sort(np.zeros(n, dtype=np.uint8), pipelined=True)
+        lg = math.log2(n)
+        assert rep.sorting_time <= 8 * lg * lg
+        rows.append([n, batcher_t, rep.sorting_time,
+                     round(rep.sorting_time / batcher_t, 2)])
+    emit(
+        format_table(
+            ["n", "Batcher depth (lg n(lg n+1)/2)", "fish pipelined time",
+             "ratio (bounded)"],
+            rows,
+            title="Sorting-time match: both O(lg^2 n), constant-factor apart",
+        )
+    )
+    fs = FishSorter(256)
+    benchmark(fs.sort, np.zeros(256, dtype=np.uint8), True)

@@ -1,0 +1,87 @@
+"""Extension bench — the circuit-switched radix permuter as one netlist.
+
+Section IV distinguishes the packet-switched (fish-based) radix permuter
+from circuit-switched variants, and Table II prices word-level
+sorting-network permutation switching at O(n lg^3 n) bit level.  The
+:mod:`repro.networks.carrying` subsystem builds that circuit-switched
+variant *physically*: one combinational netlist, self-routed entirely by
+the destination-address bits travelling with the data.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.networks.carrying import SelfRoutingPermuter, build_self_routing_permuter
+from repro.networks.permutation import RadixPermuter
+
+
+def test_self_routing_netlist_scaling(benchmark, emit):
+    rows = []
+    for n in (8, 16, 32, 64):
+        net = build_self_routing_permuter(n)
+        lg = math.log2(n)
+        rows.append(
+            [n, net.cost(), round(net.cost() / (n * lg ** 3), 3), net.depth()]
+        )
+    norm = [r[2] for r in rows]
+    assert max(norm) / min(norm) < 1.8  # O(n lg^3 n) class, bounded const
+    emit(
+        format_table(
+            ["n", "netlist cost", "cost/(n lg^3 n)", "depth"],
+            rows,
+            title="Extension: self-routing circuit-switched permuter (single netlist)",
+        )
+    )
+    benchmark(build_self_routing_permuter, 16)
+
+
+def test_self_routing_vs_packet_switched(benchmark, emit, rng):
+    """The cost trade Section IV describes: the packet-switched (fish)
+    permuter is asymptotically cheaper than the fully combinational
+    circuit-switched netlist, and the gap widens with n."""
+    rows = []
+    ratios = []
+    for n in (16, 32, 64):
+        hw = build_self_routing_permuter(n).cost()
+        sw = RadixPermuter(n, backend="fish").cost()
+        ratios.append(hw / sw)
+        rows.append([n, hw, sw, round(hw / sw, 2)])
+    assert ratios == sorted(ratios)
+    emit(
+        format_table(
+            ["n", "circuit-switched netlist", "packet-switched (fish)", "ratio"],
+            rows,
+            title="Extension: circuit- vs packet-switched radix permuter cost",
+        )
+    )
+    sp = SelfRoutingPermuter.create(16, payload_width=4)
+    perm = rng.permutation(16)
+    pays = rng.integers(0, 16, 16)
+    res = benchmark(sp.permute, perm, pays)
+    assert all(res[perm[i]] == pays[i] for i in range(16))
+
+
+def test_self_routing_no_external_control(benchmark, emit):
+    """Structural fact: the permuter netlist has exactly n lg n inputs
+    (addresses) — no control pins, unlike Benes (n lg n - n/2 of them)."""
+    from repro.networks.benes import BenesNetwork, benes_switch_count
+
+    n = 32
+    net = build_self_routing_permuter(n)
+    bn = BenesNetwork(n)
+    rows = [
+        ["self-routing permuter inputs", len(net.inputs),
+         f"= n lg n = {n * 5} (addresses only)"],
+        ["Benes control inputs", bn.n_controls,
+         f"= n lg n - n/2 = {benes_switch_count(n)} (computed by looping)"],
+    ]
+    emit(
+        format_table(
+            ["quantity", "value", "note"],
+            rows,
+            title="Extension: self-routing means zero control pins",
+        )
+    )
+    benchmark(BenesNetwork, 32)

@@ -1,0 +1,31 @@
+"""Fig. 1 — the four-input sorting network (cost 5, depth 3).
+
+Regenerates the paper's introductory example: builds the 4-input
+odd-even merge network, confirms the stated cost/depth, renders the
+diagram, and times exhaustive evaluation.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, verify_sorter_exhaustive
+from repro.baselines.batcher import build_odd_even_merge_sorter, odd_even_merge_schedule
+from repro.circuits import exhaustive_inputs, simulate
+from repro.viz import render_comparator_network
+
+
+def test_fig01_cost_and_depth(benchmark, emit):
+    net = build_odd_even_merge_sorter(4)
+    assert net.cost() == 5, "Fig. 1: five comparator switches"
+    assert net.depth() == 3, "Fig. 1: depth three"
+    assert verify_sorter_exhaustive(net)
+    diagram = render_comparator_network(4, odd_even_merge_schedule(4))
+    table = format_table(
+        ["quantity", "paper (Fig. 1)", "measured"],
+        [["cost", 5, net.cost()], ["depth", 3, net.depth()]],
+        title="Fig. 1: four-input sorting network",
+    )
+    emit(table + "\n\n" + diagram)
+
+    inputs = exhaustive_inputs(4)
+    result = benchmark(simulate, net, inputs)
+    assert np.array_equal(result, np.sort(inputs, axis=1))

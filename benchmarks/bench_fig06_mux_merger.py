@@ -1,0 +1,54 @@
+"""Fig. 6 — Network 2, the mux-merger binary sorter.
+
+Regenerates Section III-B: C(n) = 4 n lg n (upper bound; measured cost
+is below because base cases degrade to comparators), merger depth
+2 lg n per level, and — the design's point — no adder gates anywhere.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits import simulate
+from repro.core import build_mux_merger, build_mux_merger_sorter
+
+
+def test_fig06_cost_depth_series(benchmark, emit):
+    rows = []
+    for n in (16, 64, 256, 1024):
+        net = build_mux_merger_sorter(n)
+        lg = n.bit_length() - 1
+        claim = 4 * n * lg
+        assert net.cost() <= claim
+        assert set(net.cost_by_kind()) <= {"COMPARATOR", "SWITCH4"}
+        rows.append([n, net.cost(), claim, round(net.cost() / claim, 3), net.depth()])
+    emit(
+        format_table(
+            ["n", "measured cost", "paper 4n lg n", "ratio", "depth"],
+            rows,
+            title="Fig. 6 / Network 2: mux-merger binary sorter (no prefix adder needed)",
+        )
+    )
+    net = build_mux_merger_sorter(256)
+    rng = np.random.default_rng(0)
+    batch = rng.integers(0, 2, (32, 256)).astype(np.uint8)
+    result = benchmark(simulate, net, batch)
+    assert np.array_equal(result, np.sort(batch, axis=1))
+
+
+def test_fig06_merger_component(benchmark, emit):
+    """The merger alone: C_m(n) <= 4n, D_m(n) <= 2 lg n (eqs. 5-6)."""
+    rows = []
+    for n in (16, 64, 256, 1024):
+        net = build_mux_merger(n)
+        lg = n.bit_length() - 1
+        assert net.cost() <= 4 * n
+        assert net.depth() <= 2 * lg
+        rows.append([n, net.cost(), 4 * n, net.depth(), 2 * lg])
+    emit(
+        format_table(
+            ["n", "merger cost", "paper 4n", "merger depth", "paper 2 lg n"],
+            rows,
+            title="Fig. 6: mux-merger component recurrences (eqs. 5-6)",
+        )
+    )
+    benchmark(build_mux_merger, 256)

@@ -1,0 +1,86 @@
+"""Fig. 7 — Network 3, the fish binary sorter.
+
+Regenerates Section III-C's claims:
+
+* cost O(n) — eq. (19)'s `17n + 5 lg^2 n lg lg n + 4 lg n lg lg n` at
+  k = lg n, and eq. (17)'s bound at every (n, k);
+* sorting time O(lg^3 n) unpipelined (eq. 24), O(lg^2 n) pipelined
+  (eq. 26);
+* the ablation: cost is minimized at k = lg n (the paper's choice).
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.ablations import fish_k_sweep
+from repro.core.fish_sorter import FishSorter, default_k
+
+
+def test_fig07_cost_series(benchmark, emit):
+    rows = []
+    for n in (64, 256, 1024, 4096):
+        fs = FishSorter(n)
+        bound = fs.cost_bound_paper()
+        assert fs.cost() <= bound
+        rows.append(
+            [n, fs.k, fs.cost(), round(fs.cost() / n, 2), 17 * n, round(bound)]
+        )
+    emit(
+        format_table(
+            ["n", "k", "measured cost", "cost/n", "paper 17n", "paper eq.17 bound"],
+            rows,
+            title="Fig. 7 / Network 3: fish sorter cost is linear (constant < 17 + o(1))",
+        )
+    )
+    fs = FishSorter(256)
+    x = np.random.default_rng(0).integers(0, 2, 256).astype(np.uint8)
+    out, _ = benchmark(fs.sort, x)
+    assert np.array_equal(out, np.sort(x))
+
+
+def test_fig07_sorting_time_series(benchmark, emit):
+    rows = []
+    for n in (64, 256, 1024):
+        fs = FishSorter(n)
+        x = np.zeros(n, dtype=np.uint8)
+        _, rep_seq = fs.sort(x)
+        _, rep_pipe = fs.sort(x, pipelined=True)
+        lg = math.log2(n)
+        assert rep_seq.sorting_time <= 6 * lg ** 3  # O(lg^3 n)
+        assert rep_pipe.sorting_time <= 8 * lg ** 2  # O(lg^2 n)
+        assert rep_pipe.sorting_time < rep_seq.sorting_time
+        rows.append(
+            [n, rep_seq.sorting_time, round(lg ** 3), rep_pipe.sorting_time,
+             round(lg ** 2)]
+        )
+    emit(
+        format_table(
+            ["n", "T unpipelined", "lg^3 n", "T pipelined", "lg^2 n"],
+            rows,
+            title="Fig. 7: fish sorter sorting time (eqs. 24/26 shapes)",
+        )
+    )
+    fs = FishSorter(256)
+    benchmark(fs.sort, np.zeros(256, dtype=np.uint8), True)
+
+
+def test_fig07_k_ablation(benchmark, emit):
+    """eq. (19): the cost minimum falls at k = lg n.  With k restricted
+    to powers of two the measured minimum lands within a factor of two
+    of lg n (at n = 1024, lg n = 10 sits between the k = 8 and k = 16
+    grid points)."""
+    n = 1024
+    lg_n = n.bit_length() - 1
+    rows = fish_k_sweep(n)
+    best = min(rows, key=lambda r: r["cost"])
+    assert lg_n / 2 <= best["k"] <= 2 * lg_n
+    emit(
+        format_table(
+            ["k", "cost", "paper eq.17 bound", "sorting time"],
+            [[r["k"], r["cost"], r["paper_bound"], r["sorting_time"]] for r in rows],
+            title=f"Fig. 7 ablation: k-sweep at n = {n} (minimum at k = lg n = {default_k(n)})",
+        )
+    )
+    benchmark(FishSorter, 256)

@@ -1,0 +1,68 @@
+"""Fig. 8 — worked example: 16-input four-way mux-merger.
+
+Replays the figure's trace: the 4-sorted input 1111/0001/0011/0111 runs
+through the k-SWAP, the clean sorter (upper half), the recursive merge
+(lower half), and the final two-way mux-merger.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits import simulate
+from repro.core import sequences as seq
+from repro.core.kway import KWayMuxMerger, build_k_swap
+
+FIG8_INPUT = np.array(
+    [1, 1, 1, 1, 0, 0, 0, 1, 0, 0, 1, 1, 0, 1, 1, 1], dtype=np.uint8
+)
+
+
+def test_fig08_trace(benchmark, emit):
+    n, k = 16, 4
+    assert seq.is_k_sorted(FIG8_INPUT, k)
+    swap = build_k_swap(n, k)
+    swapped = simulate(swap, FIG8_INPUT[None, :])[0]
+    upper, lower = swapped[: n // 2], swapped[n // 2 :]
+    assert seq.is_clean_k_sorted(upper, k)  # Theorem 4 upper half
+    assert seq.is_k_sorted(lower, k)  # Theorem 4 lower half
+    merger = KWayMuxMerger(n, k)
+    out, _, time = merger.merge(FIG8_INPUT)
+    assert out.tolist() == sorted(FIG8_INPUT.tolist())
+    emit(
+        format_table(
+            ["stage", "value"],
+            [
+                ["input (4-sorted)", "".join(map(str, FIG8_INPUT))],
+                ["after k-SWAP, upper (clean 4-sorted)", "".join(map(str, upper))],
+                ["after k-SWAP, lower (4-sorted)", "".join(map(str, lower))],
+                ["merged output", "".join(map(str, out))],
+                ["merge time (unit delays)", time],
+                ["merger cost", merger.cost()],
+            ],
+            title="Fig. 8: 16-input four-way mux-merger on the figure's input",
+        )
+    )
+    benchmark(merger.merge, FIG8_INPUT)
+
+
+def test_fig08_merger_scaling(benchmark, emit, rng):
+    """k-way merger cost is linear in n for fixed k (the property that
+    makes Network 3 linear overall)."""
+    rows = []
+    for n in (64, 256, 1024):
+        m = KWayMuxMerger(n, 4)
+        x = seq.random_k_sorted(n, 4, rng)
+        out, _, t = m.merge(x)
+        assert seq.is_sorted_binary(out)
+        rows.append([n, m.cost(), round(m.cost() / n, 2), t])
+    assert rows[-1][2] < rows[0][2] * 1.3  # cost/n bounded
+    emit(
+        format_table(
+            ["n", "merger cost", "cost/n", "merge time"],
+            rows,
+            title="Fig. 8: k-way mux-merger scaling (k = 4)",
+        )
+    )
+    m = KWayMuxMerger(256, 4)
+    x = seq.random_k_sorted(256, 4, rng)
+    benchmark(m.merge, x)

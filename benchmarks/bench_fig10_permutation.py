@@ -1,0 +1,79 @@
+"""Fig. 10 — the radix permuter built from adaptive binary sorters.
+
+Regenerates Section IV's permutation-network claims (eqs. 26-27): with
+fish distributors the network costs O(n lg n) and routes in O(lg^3 n);
+with combinational distributors it is circuit-switched at O(n lg^2 n).
+One series per sorter backend (the DESIGN.md ablation).
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis import format_table, loglog_slope
+from repro.networks.permutation import RadixPermuter, check_permutation
+
+
+def test_fig10_backend_series(benchmark, emit, rng):
+    rows = []
+    slopes = {}
+    for backend in ("fish", "mux_merger", "prefix"):
+        sizes = (64, 256, 1024)
+        costs = []
+        for n in sizes:
+            rp = RadixPermuter(n, backend=backend)
+            costs.append(rp.cost())
+            rows.append(
+                [backend, n, rp.cost(),
+                 round(rp.cost() / (n * math.log2(n)), 2), rp.routing_time()]
+            )
+        slopes[backend] = loglog_slope(sizes, costs)
+    # fish backend is the O(n lg n) one; combinational ones grow faster
+    assert slopes["fish"] < slopes["mux_merger"]
+    assert slopes["fish"] < 1.35
+    emit(
+        format_table(
+            ["backend", "n", "cost", "cost/(n lg n)", "routing time"],
+            rows,
+            title="Fig. 10: radix permuter, one series per distributor backend",
+        )
+    )
+    rp = RadixPermuter(64, backend="mux_merger")
+    perm = rng.permutation(64)
+    pays = np.arange(64, dtype=np.int64)
+    out, _ = benchmark(rp.permute, perm, pays)
+    assert check_permutation(perm, pays, out)
+
+
+def test_fig10_routing_time_shape(benchmark, emit):
+    """eq. (27): routing time O(lg^3 n) for the packet-switched permuter."""
+    rows = []
+    for n in (64, 256, 1024):
+        rp = RadixPermuter(n, backend="fish")
+        t = rp.routing_time()
+        lg = math.log2(n)
+        assert t <= 8 * lg ** 3
+        rows.append([n, t, round(lg ** 3), round(t / lg ** 3, 2)])
+    emit(
+        format_table(
+            ["n", "routing time", "lg^3 n", "ratio"],
+            rows,
+            title="Fig. 10: radix permuter routing time vs O(lg^3 n) claim",
+        )
+    )
+    benchmark(RadixPermuter, 256, "fish")
+
+
+def test_fig10_correctness_under_load(benchmark, emit, rng):
+    """Route many random permutations with real payloads (n = 32, fish)."""
+    rp = RadixPermuter(32, backend="fish")
+    pays = np.arange(32, dtype=np.int64) + 7_000
+    checked = 0
+    for _ in range(10):
+        perm = rng.permutation(32)
+        out, _ = rp.permute(perm, pays)
+        assert check_permutation(perm, pays, out)
+        checked += 1
+    emit(f"Fig. 10: {checked} random 32-permutations routed correctly over fish distributors")
+    perm = rng.permutation(32)
+    benchmark(rp.permute, perm, pays)

@@ -1,0 +1,73 @@
+"""Substrate performance benchmarks (library engineering, not paper claims).
+
+Times the hot paths a downstream user pays for: netlist construction,
+vectorized simulation throughput, payload-carrying simulation, the
+register-transfer pipeline, and gate-level lowering.  These establish a
+performance baseline so regressions in the simulator are caught.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits import (
+    PipelinedNetlist,
+    lower_to_gates,
+    simulate,
+    simulate_payload,
+)
+from repro.core import build_mux_merger_sorter, build_prefix_sorter
+
+
+def test_perf_construction(benchmark, emit):
+    net = benchmark(build_mux_merger_sorter, 1024)
+    emit(
+        f"construction throughput: mux-merger n=1024 -> "
+        f"{len(net.elements)} elements per build call"
+    )
+
+
+def test_perf_vectorized_simulation(benchmark, emit, rng):
+    net = build_mux_merger_sorter(512)
+    batch = rng.integers(0, 2, (64, 512)).astype(np.uint8)
+    out = benchmark(simulate, net, batch)
+    assert np.array_equal(out, np.sort(batch, axis=1))
+    evals = len(net.elements) * batch.shape[0]
+    emit(
+        f"vectorized simulation: {len(net.elements)} elements x 64-row "
+        f"batch = {evals} element-evaluations per call"
+    )
+
+
+def test_perf_payload_simulation(benchmark, emit, rng):
+    net = build_mux_merger_sorter(256)
+    tags = rng.integers(0, 2, (16, 256)).astype(np.uint8)
+    pays = np.tile(np.arange(256, dtype=np.int64), (16, 1))
+    t, p = benchmark(simulate_payload, net, tags, pays)
+    assert sorted(p[0].tolist()) == list(range(256))
+    emit("payload simulation: 256-input sorter, 16-row batch per call")
+
+
+def test_perf_pipeline_step(benchmark, emit, rng):
+    net = build_mux_merger_sorter(64)
+    pipe = PipelinedNetlist(net)
+    vec = rng.integers(0, 2, 64).tolist()
+
+    def run():
+        pipe.reset()
+        for _ in range(8):
+            pipe.step(vec)
+
+    benchmark(run)
+    emit(
+        f"register-transfer pipeline: 8 cycles of a {pipe.latency}-stage "
+        f"64-input sorter per call"
+    )
+
+
+def test_perf_lowering(benchmark, emit):
+    net = build_prefix_sorter(128)
+    lowered = benchmark(lower_to_gates, net)
+    emit(
+        f"gate lowering: {len(net.elements)} elements -> "
+        f"{len(lowered.elements)} gates per call"
+    )

@@ -1,0 +1,89 @@
+"""Table II — complexities of permutation network designs in bit level.
+
+Regenerates the paper's comparison table: the published asymptotic
+expressions for all five designs, the representative numeric values at a
+common n, and measured values for the designs built in this repo (Benes,
+this paper's radix permuter).
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines.costmodels import TABLE2_ROWS
+from repro.networks.benes import BenesNetwork
+from repro.networks.permutation import RadixPermuter
+
+
+def test_table2_asymptotic_rows(benchmark, emit):
+    rows = [
+        [r.construction, r.cost_expr, r.depth_expr, r.time_expr]
+        for r in TABLE2_ROWS.values()
+    ]
+    emit(
+        format_table(
+            ["construction", "cost", "depth", "permutation time"],
+            rows,
+            title="Table II: complexities of permutation network designs (as published)",
+        )
+    )
+    benchmark(lambda: list(TABLE2_ROWS.values()))
+
+
+def test_table2_numeric_at_common_n(benchmark, emit):
+    """Evaluate every row's representative functions at n = 2^16 and
+    check the paper's ranking: this paper has the smallest cost order."""
+    n = 2 ** 16
+    rows = []
+    for key, r in TABLE2_ROWS.items():
+        rows.append([r.construction, round(r.cost(n)), round(r.time(n))])
+    ours = TABLE2_ROWS["this_paper"]
+    for key, r in TABLE2_ROWS.items():
+        if key != "this_paper":
+            assert ours.cost(n) < r.cost(n), key
+    emit(
+        format_table(
+            ["construction", f"cost @ n=2^16", f"time @ n=2^16"],
+            rows,
+            title="Table II: representative numeric values (model functions)",
+        )
+    )
+    benchmark(ours.cost, float(n))
+
+
+def test_table2_measured_rows(benchmark, emit, rng):
+    """Measured values for the rows we physically built."""
+    from repro.networks.carrying import CarryingBenes
+
+    n = 256
+    lg = int(math.log2(n))
+    bn = BenesNetwork(n)
+    cb = CarryingBenes(n, lg)  # word width = address width, Table II style
+    rp = RadixPermuter(n, backend="fish")
+    # routing works on all three
+    perm = rng.permutation(n)
+    pays = np.arange(n, dtype=np.int64)
+    assert np.array_equal(bn.permute(perm, pays)[perm], pays)
+    assert np.array_equal(cb.permute(perm, pays)[perm], pays)
+    out, _ = rp.permute(perm, pays)
+    assert np.array_equal(out[perm], pays)
+    rows = [
+        ["Benes + looping (word-level switch count)", bn.cost(), bn.depth(),
+         "sequential looping"],
+        ["Benes bit-level fabric, lg n-bit words (measured)",
+         cb.cost(), cb.depth(), "sequential looping"],
+        ["Benes bit-level model (fabric + routing processors)",
+         round(BenesNetwork.bit_level_cost_model(n)), bn.depth(),
+         round(BenesNetwork.parallel_routing_time_model(n))],
+        ["this paper: radix permuter over fish sorters (measured)",
+         rp.cost(), "-", rp.routing_time()],
+    ]
+    emit(
+        format_table(
+            ["design @ n=256", "cost", "depth", "permutation time"],
+            rows,
+            title="Table II: measured rows for the designs built in this repo",
+        )
+    )
+    benchmark(bn.route, list(perm))

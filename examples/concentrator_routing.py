@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Concentration in a multiprocessor: granting memory-bank requests.
+
+The paper's Section I motivation: "many routing problems in parallel
+processing, such as concentration and permutation problems, can be cast
+as sorting problems."  This example plays out the classic scenario —
+n processors contend for m <= n memory-module ports; an
+(n,m)-concentrator must deliver every active request to a distinct port.
+
+We drive both realizations through a bursty multi-round workload:
+
+* the circuit-switched concentrator (mux-merger sorter, O(n lg n) cost),
+* the time-multiplexed fish concentrator (O(n) cost), and show the
+  hardware/time trade between them.
+
+Run: ``python examples/concentrator_routing.py``
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.networks.concentrator import (
+    FishConcentrator,
+    SortingConcentrator,
+    check_concentration,
+)
+
+
+def main() -> None:
+    n = 64
+    rng = np.random.default_rng(7)
+    circuit = SortingConcentrator(n, sorter="mux_merger")
+    fish = FishConcentrator(n)
+
+    print(f"{n}-processor arbitration demo")
+    print(f"  circuit-switched concentrator cost: {circuit.cost()} "
+          f"(depth {circuit.depth()})")
+    print(f"  fish concentrator cost:             {fish.cost()} "
+          f"(time-multiplexed)\n")
+
+    rows = []
+    total_granted = 0
+    for round_no, load in enumerate((0.15, 0.45, 0.75, 1.0)):
+        requests = (rng.random(n) < load).astype(np.uint8)
+        # payload = requesting processor id + the bank address it wants
+        payloads = np.arange(n, dtype=np.int64) * 1000 + rng.integers(0, 64, n)
+        res = circuit.concentrate(requests, payloads)
+        assert check_concentration(requests, payloads, res)
+        res_fish, report = fish.concentrate(requests, payloads)
+        assert check_concentration(requests, payloads, res_fish)
+        total_granted += res.count
+        rows.append([
+            round_no, f"{load:.0%}", int(requests.sum()), res.count,
+            circuit.depth(), report.sorting_time,
+        ])
+    print(format_table(
+        ["round", "offered load", "requests", "granted",
+         "circuit delay", "fish delay"],
+        rows,
+        title="request rounds (every active request reached a distinct port)",
+    ))
+    print(f"\n{total_granted} requests granted across all rounds; "
+          "payloads verified to arrive intact on the first r outputs.")
+
+    # the paper's tagging trick, spelled out
+    requests = np.zeros(n, dtype=np.uint8)
+    requests[[3, 17, 42]] = 1
+    res = circuit.concentrate(requests, np.arange(n, dtype=np.int64))
+    print(
+        "\ntagging trick: requesters tagged 0 sort to the top -> "
+        f"inputs {sorted(res.granted.tolist())} occupy outputs 0..{res.count - 1}"
+    )
+
+
+if __name__ == "__main__":
+    main()

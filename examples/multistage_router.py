@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""A two-stage packet router: concentrate, then permute.
+
+The composition Section IV implies: a parallel machine's interconnect
+first *concentrates* the cycle's active packets onto a dense set of
+lanes, then *permutes* them to their destinations.  Both stages are the
+paper's constructions; we run the router for several traffic cycles and
+account hardware and per-cycle latency.
+
+Stage 1: (n,n)-concentrator (mux-merger sorter, payload-carrying)
+Stage 2: radix permuter on the concentrated lanes (self-routing)
+
+Run: ``python examples/multistage_router.py``
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.networks.concentrator import SortingConcentrator, check_concentration
+from repro.networks.permutation import RadixPermuter
+
+
+def main() -> None:
+    n = 16
+    rng = np.random.default_rng(99)
+    concentrator = SortingConcentrator(n, sorter="mux_merger")
+    permuter = RadixPermuter(n, backend="mux_merger")
+
+    print(f"two-stage router over {n} ports")
+    print(f"  stage 1 concentrator: cost {concentrator.cost()}, "
+          f"depth {concentrator.depth()}")
+    print(f"  stage 2 permuter:     cost {permuter.cost()}, "
+          f"delay {permuter.routing_time()}")
+    total_delay = concentrator.depth() + permuter.routing_time()
+    print(f"  per-cycle latency:    {total_delay} unit delays\n")
+
+    rows = []
+    for cycle in range(5):
+        # each active source picks a distinct destination
+        active = rng.random(n) < 0.5
+        sources = np.flatnonzero(active)
+        dests = rng.choice(n, size=sources.size, replace=False)
+
+        # stage 1: concentrate the active packets (payload = src * 64 + dst)
+        requests = active.astype(np.uint8)
+        payloads = np.full(n, -1, dtype=np.int64)
+        payloads[sources] = sources * 64 + dests
+        res = concentrator.concentrate(requests, payloads)
+        assert check_concentration(requests, payloads, res)
+
+        # stage 2: route the r concentrated packets; idle lanes get the
+        # leftover destinations so the stage sees a full permutation
+        r = res.count
+        lane_dests = np.full(n, -1, dtype=np.int64)
+        lane_payloads = np.full(n, -1, dtype=np.int64)
+        for lane in range(r):
+            packet = int(res.granted[lane])
+            lane_dests[lane] = packet % 64
+            lane_payloads[lane] = packet // 64  # the source id
+        unused = sorted(set(range(n)) - set(int(d) for d in lane_dests[:r]))
+        lane_dests[r:] = unused
+        routed, _ = permuter.permute(lane_dests.tolist(), lane_payloads)
+
+        delivered = 0
+        for src, dst in zip(sources, dests):
+            assert routed[dst] == src, (src, dst, routed)
+            delivered += 1
+        rows.append([cycle, int(active.sum()), r, delivered])
+
+    print(format_table(
+        ["cycle", "active", "concentrated", "delivered"],
+        rows,
+        title="router cycles (every packet reached its destination port)",
+    ))
+    print("\nevery delivery verified: output port received its sender's id.")
+
+
+if __name__ == "__main__":
+    main()

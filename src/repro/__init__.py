@@ -1,0 +1,73 @@
+"""Adaptive binary sorting schemes and associated interconnection networks.
+
+A full reproduction of Chien & Oruc (ICPP 1992 / IEEE TPDS 1994): the
+three adaptive binary sorting networks (prefix, mux-merger, and the
+time-multiplexed "fish" sorter), the concentrators and permutation
+networks built from them, the baselines they are compared against
+(Batcher, balanced, columnsort, AKS cost model, Muller–Preparata), and
+the measurement machinery that regenerates every figure and table of the
+paper's evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import build_mux_merger_sorter, FishSorter
+    from repro.circuits import simulate
+
+    net = build_mux_merger_sorter(16)          # Network 2, n = 16
+    print(net.cost(), net.depth())             # bit-level cost/depth
+    out = simulate(net, [[1,0,1,1,0,0,1,0]*2]) # sorts any 0/1 sequence
+
+    fish = FishSorter(256)                     # Network 3, O(n) cost
+    bits = np.random.default_rng(0).integers(0, 2, 256)
+    sorted_bits, report = fish.sort(bits, pipelined=True)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from . import analysis, baselines, circuits, components, core, networks, viz
+from .core import (
+    FishSorter,
+    KWayMuxMerger,
+    SortReport,
+    build_mux_merger,
+    build_mux_merger_sorter,
+    build_patchup_network,
+    build_prefix_sorter,
+    make_sorter,
+    sort_bits,
+)
+from .networks import (
+    BenesNetwork,
+    FishConcentrator,
+    RadixPermuter,
+    RadixWordSorter,
+    SortingConcentrator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenesNetwork",
+    "FishConcentrator",
+    "FishSorter",
+    "KWayMuxMerger",
+    "RadixPermuter",
+    "RadixWordSorter",
+    "SortReport",
+    "SortingConcentrator",
+    "analysis",
+    "baselines",
+    "build_mux_merger",
+    "build_mux_merger_sorter",
+    "build_patchup_network",
+    "build_prefix_sorter",
+    "circuits",
+    "components",
+    "core",
+    "make_sorter",
+    "networks",
+    "sort_bits",
+    "viz",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry point: ``python -m repro``.
+
+Modes:
+
+* ``python -m repro [n]`` — compact reproduction report at size ``n``
+  (default 256): builds, verifies, and measures the paper's main
+  constructions.
+* ``python -m repro --claims`` — run the full claims ledger
+  (:data:`repro.analysis.claims.CLAIMS`) and print each claim's verdict
+  and evidence.
+* ``python -m repro --models`` — print the complexity-model registry
+  (the paper's claimed formulas for every network).
+* ``python -m repro --coverage`` — print the paper-artifact coverage
+  matrix (every figure/table/theorem and how it is reproduced).
+
+For the full figure/table regeneration, run
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+import sys
+
+from .analysis.report import reproduction_report
+
+
+def _run_claims() -> int:
+    from .analysis.claims import CLAIMS
+
+    failures = 0
+    for claim in CLAIMS:
+        ok, evidence = claim.check()
+        mark = "PASS" if ok else "FAIL"
+        print(f"[{mark}] {claim.id} ({claim.section})")
+        print(f"       claim:    {claim.statement}")
+        print(f"       evidence: {evidence}\n")
+        failures += not ok
+    print(f"{len(CLAIMS) - failures}/{len(CLAIMS)} claims verified")
+    return 1 if failures else 0
+
+
+def _run_models() -> int:
+    from .analysis.tables import format_table
+    from .baselines.costmodels import SORTER_MODELS, TABLE2_ROWS
+
+    rows = [
+        [m.name, m.cost_expr, m.depth_expr, m.time_expr]
+        for m in SORTER_MODELS.values()
+    ]
+    print(format_table(
+        ["network", "cost", "depth", "sorting time"], rows,
+        title="Binary sorting networks (claimed complexities)",
+    ))
+    print()
+    rows = [
+        [r.construction, r.cost_expr, r.depth_expr, r.time_expr]
+        for r in TABLE2_ROWS.values()
+    ]
+    print(format_table(
+        ["construction", "cost", "depth", "permutation time"], rows,
+        title="Table II: permutation networks",
+    ))
+    return 0
+
+
+def _run_coverage() -> int:
+    from .analysis.coverage import coverage_table
+
+    print(coverage_table())
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "--claims":
+        return _run_claims()
+    if argv and argv[0] == "--models":
+        return _run_models()
+    if argv and argv[0] == "--coverage":
+        return _run_coverage()
+    n = 256
+    if argv:
+        try:
+            n = int(argv[0])
+        except ValueError:
+            print(
+                "usage: python -m repro [n | --claims | --models]   "
+                f"(got {argv[0]!r})"
+            )
+            return 2
+        if n < 8 or n & (n - 1):
+            print(f"n must be a power of two >= 8, got {n}")
+            return 2
+    print(
+        "Adaptive Binary Sorting Schemes and Associated Interconnection "
+        "Networks\nChien & Oruc (ICPP'92 / TPDS'94) - reproduction report\n"
+    )
+    print(reproduction_report(n))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Measurement, verification, and claim-checking utilities."""
+
+from .ablations import (
+    build_patchup_naive,
+    fish_k_sweep,
+    prefix_sorter_adder_sweep,
+)
+from .complexity import (
+    Measurement,
+    loglog_slope,
+    measure_network,
+    measure_sweep,
+    normalized_constant,
+)
+from .claims import CLAIMS, Claim, run_all
+from .crossover import (
+    Crossover,
+    aks_cost_crossover,
+    aks_time_crossover,
+    batcher_improvement_factor,
+    find_crossover,
+)
+from .fitting import CostFit, fit_cost_model, fit_network_constant
+from .tables import format_table
+from .verify import (
+    verify_netlist_random,
+    verify_sorter_exhaustive,
+    verify_sorter_exhaustive_parallel,
+    verify_sorter_random,
+)
+
+__all__ = [
+    "CLAIMS",
+    "Claim",
+    "CostFit",
+    "Crossover",
+    "Measurement",
+    "aks_cost_crossover",
+    "aks_time_crossover",
+    "batcher_improvement_factor",
+    "build_patchup_naive",
+    "find_crossover",
+    "fish_k_sweep",
+    "fit_cost_model",
+    "fit_network_constant",
+    "format_table",
+    "loglog_slope",
+    "measure_network",
+    "measure_sweep",
+    "normalized_constant",
+    "prefix_sorter_adder_sweep",
+    "run_all",
+    "verify_netlist_random",
+    "verify_sorter_exhaustive",
+    "verify_sorter_exhaustive_parallel",
+    "verify_sorter_random",
+]

@@ -1,0 +1,106 @@
+"""Ablations of the paper's design choices (DESIGN.md's ablation list).
+
+* :func:`build_patchup_naive` — the patch-up network *without* the shared
+  prefix adder: every level recomputes the ones-count of its own inputs
+  with a private popcount.  Functionally identical, but the steering
+  logic alone costs ``Theta(n lg n)`` summed over levels instead of
+  ``O(lg n)`` rewiring — demonstrating why the paper's single-adder
+  steering is what keeps Network 1 at ``3 n lg n``.
+* :func:`prefix_sorter_adder_sweep` — Network 1 with ripple vs prefix
+  adders: the cost/depth trade of the adder choice.
+* :func:`fish_k_sweep` — Network 3's cost and sorting time as functions
+  of ``k``, showing the paper's ``k = lg n`` minimization (eqs. 17-19).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.builder import CircuitBuilder
+from ..circuits.netlist import Netlist
+from ..components.prefix_adder import popcount
+from ..components.swappers import two_way_swapper
+from ..core.balanced_merge import balanced_comparator_stage
+from ..core.fish_sorter import FishSorter
+from ..core.prefix_sorter import build_prefix_sorter
+from ..components.shuffle import two_way_shuffle
+
+
+def _naive_patchup(b: CircuitBuilder, wires: List[int]) -> List[int]:
+    """Patch-up level with a private per-level popcount (the ablation)."""
+    n = len(wires)
+    if n == 1:
+        return wires
+    if n == 2:
+        lo, hi = b.comparator(wires[0], wires[1])
+        return [lo, hi]
+    staged = balanced_comparator_stage(b, wires)
+    count = popcount(b, wires)  # private count of this level's inputs
+    lg_n = n.bit_length() - 1
+    while len(count) < lg_n + 1:
+        count.append(b.const(0))
+    select = b.or_(count[lg_n], count[lg_n - 1])
+    swapped = two_way_swapper(b, staged, select)
+    lower = _naive_patchup(b, list(swapped[n // 2 :]))
+    return two_way_swapper(b, list(swapped[: n // 2]) + lower, select)
+
+
+def _naive_prefix_sorter(b: CircuitBuilder, wires: List[int]) -> List[int]:
+    n = len(wires)
+    if n == 1:
+        return wires
+    if n == 2:
+        lo, hi = b.comparator(wires[0], wires[1])
+        return [lo, hi]
+    upper = _naive_prefix_sorter(b, wires[: n // 2])
+    lower = _naive_prefix_sorter(b, wires[n // 2 :])
+    return _naive_patchup(b, two_way_shuffle(upper + lower))
+
+
+def build_patchup_naive(n: int) -> Netlist:
+    """Network 1 variant with per-level popcount steering (ablation)."""
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    b = CircuitBuilder(f"prefix-sorter-naive-{n}")
+    wires = b.add_inputs(n)
+    return b.build(_naive_prefix_sorter(b, wires))
+
+
+def prefix_sorter_adder_sweep(sizes: Sequence[int]) -> List[Dict[str, int]]:
+    """Cost/depth of Network 1 under each adder implementation."""
+    rows = []
+    for n in sizes:
+        ks = build_prefix_sorter(n, adder="prefix")
+        rp = build_prefix_sorter(n, adder="ripple")
+        rows.append(
+            {
+                "n": n,
+                "cost_prefix_adder": ks.cost(),
+                "depth_prefix_adder": ks.depth(),
+                "cost_ripple_adder": rp.cost(),
+                "depth_ripple_adder": rp.depth(),
+            }
+        )
+    return rows
+
+
+def fish_k_sweep(n: int, pipelined: bool = False) -> List[Dict[str, int]]:
+    """Cost and sorting time of the fish sorter across valid ``k``."""
+    rows = []
+    k = 2
+    while k <= n // 2:
+        fs = FishSorter(n, k)
+        _, report = fs.sort(np.zeros(n, dtype=np.uint8), pipelined=pipelined)
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "cost": fs.cost(),
+                "sorting_time": report.sorting_time,
+                "paper_bound": round(fs.cost_bound_paper()),
+            }
+        )
+        k *= 2
+    return rows

@@ -1,0 +1,397 @@
+"""Structured ledger of the paper's checkable claims.
+
+Every quantitative claim the paper makes is registered here as a
+:class:`Claim` with an executable ``check`` returning ``(ok, evidence)``.
+``tests/test_claims.py`` runs the whole ledger; ``python -m repro`` and
+EXPERIMENTS.md reference the same registry, so the mapping from the
+paper's sentences to verified facts lives in exactly one place.
+
+Checks are deliberately laptop-fast (sizes <= 1024); the benchmark suite
+covers the same ground at more sizes and persists the full tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+CheckResult = Tuple[bool, str]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One verifiable statement from the paper."""
+
+    id: str
+    section: str
+    statement: str
+    check: Callable[[], CheckResult]
+
+
+def _lg(n: float) -> float:
+    return math.log2(n)
+
+
+# ---------------------------------------------------------------------------
+# individual checks
+# ---------------------------------------------------------------------------
+
+
+def _check_abstract_fish() -> CheckResult:
+    from ..core.fish_sorter import FishSorter
+
+    fs = FishSorter(1024)
+    x = np.random.default_rng(0).integers(0, 2, 1024).astype(np.uint8)
+    out, rep = fs.sort(x, pipelined=True)
+    ok = (
+        np.array_equal(out, np.sort(x))
+        and fs.cost() <= 20 * 1024
+        and rep.sorting_time <= 4 * _lg(1024) ** 2
+    )
+    return ok, (
+        f"n=1024: cost {fs.cost()} (= {fs.cost()/1024:.1f}n), pipelined "
+        f"time {rep.sorting_time} vs 2 lg^2 n = {2 * _lg(1024)**2:.0f}"
+    )
+
+
+def _check_batcher_factor() -> CheckResult:
+    from ..baselines.batcher import build_odd_even_merge_sorter
+    from ..core.fish_sorter import FishSorter
+
+    ratios = [
+        build_odd_even_merge_sorter(n).cost() / FishSorter(n).cost()
+        for n in (256, 1024, 4096)
+    ]
+    ok = ratios[0] < ratios[1] < ratios[2]
+    return ok, f"Batcher/fish cost ratios at n=256/1024/4096: " + ", ".join(
+        f"{r:.2f}" for r in ratios
+    )
+
+
+def _check_permuter_headline() -> CheckResult:
+    from ..networks.permutation import RadixPermuter
+
+    n = 256
+    rp = RadixPermuter(n, backend="fish")
+    ok = rp.cost() <= 15 * n * _lg(n) and rp.routing_time() <= 8 * _lg(n) ** 3
+    return ok, (
+        f"n=256: cost {rp.cost()} = {rp.cost()/(n*_lg(n)):.1f} n lg n, "
+        f"routing {rp.routing_time()} vs lg^3 n = {_lg(n)**3:.0f}"
+    )
+
+
+def _check_aks_crossover() -> CheckResult:
+    from .crossover import aks_cost_crossover, aks_time_crossover
+
+    t = aks_time_crossover()
+    c = aks_cost_crossover()
+    ok = t.lg_n is not None and t.lg_n > 60 and c.lg_n is None
+    return ok, f"time {t.description}; cost {c.description}"
+
+
+def _check_network1() -> CheckResult:
+    from ..core.prefix_sorter import build_prefix_sorter
+
+    n = 256
+    net = build_prefix_sorter(n)
+    lg = _lg(n)
+    kinds = net.cost_by_kind()
+    switching = kinds.get("COMPARATOR", 0) + kinds.get("SWITCH2", 0)
+    bound = 3 * lg * lg + 2 * lg * _lg(lg)
+    ok = switching <= 3 * n * lg and net.depth() <= bound
+    return ok, (
+        f"n=256: switching {switching} <= 3n lg n = {int(3*n*lg)}; "
+        f"depth {net.depth()} <= {bound:.0f}"
+    )
+
+
+def _check_network2() -> CheckResult:
+    from ..core.mux_merger import build_mux_merger, build_mux_merger_sorter
+
+    n = 256
+    net = build_mux_merger_sorter(n)
+    merger = build_mux_merger(n)
+    ok = (
+        net.cost() <= 4 * n * _lg(n)
+        and merger.cost() <= 4 * n
+        and merger.depth() <= 2 * _lg(n)
+        and set(net.cost_by_kind()) <= {"COMPARATOR", "SWITCH4"}
+    )
+    return ok, (
+        f"n=256: sorter {net.cost()} <= 4n lg n = {int(4*n*_lg(n))}; merger "
+        f"{merger.cost()} <= 4n; depth {merger.depth()} <= 2 lg n; no adders"
+    )
+
+
+def _check_fish_cost_bound() -> CheckResult:
+    from ..core.fish_sorter import FishSorter
+
+    results = []
+    ok = True
+    for n in (64, 256, 1024):
+        fs = FishSorter(n)
+        ok = ok and fs.cost() <= fs.cost_bound_paper()
+        results.append(f"n={n}: {fs.cost()} <= {fs.cost_bound_paper():.0f}")
+    return ok, "; ".join(results)
+
+
+def _check_fish_times() -> CheckResult:
+    from ..core.fish_sorter import FishSorter
+
+    ok = True
+    parts = []
+    for n in (64, 256):
+        fs = FishSorter(n)
+        x = np.zeros(n, dtype=np.uint8)
+        _, seq_rep = fs.sort(x)
+        _, pipe_rep = fs.sort(x, pipelined=True)
+        lg = _lg(n)
+        ok = ok and seq_rep.sorting_time <= 6 * lg ** 3
+        ok = ok and pipe_rep.sorting_time <= 8 * lg ** 2
+        parts.append(
+            f"n={n}: {seq_rep.sorting_time}/{pipe_rep.sorting_time} vs "
+            f"lg^3={lg**3:.0f}/lg^2={lg**2:.0f}"
+        )
+    return ok, "; ".join(parts)
+
+
+def _check_theorem1() -> CheckResult:
+    from ..core import sequences as seq
+
+    n = 32
+    for zu in range(n // 2 + 1):
+        for zl in range(n // 2 + 1):
+            xs = seq.shuffle_concat(
+                seq.sorted_sequence(n // 2, zu), seq.sorted_sequence(n // 2, zl)
+            )
+            if not seq.in_A(xs):
+                return False, f"counterexample zu={zu} zl={zl}"
+    return True, f"all {(n // 2 + 1) ** 2} sorted-half profiles at n={n} land in A_n"
+
+
+def _check_theorem2() -> CheckResult:
+    from ..core import sequences as seq
+    from ..core.balanced_merge import balanced_stage_behavioral
+
+    members = seq.enumerate_A(16)
+    for z in members:
+        y = balanced_stage_behavioral(z)
+        yu, yl = y[:8], y[8:]
+        if not (
+            (seq.is_clean(yu) and seq.in_A(yl))
+            or (seq.is_clean(yl) and seq.in_A(yu))
+        ):
+            return False, f"counterexample {z}"
+    return True, f"all {len(members)} members of A_16 split (clean, A_8)"
+
+
+def _check_theorem3() -> CheckResult:
+    from ..core import sequences as seq
+    from ..core.mux_merger import classify_bisorted
+
+    n, q = 32, 8
+    count = 0
+    for zu in range(n // 2 + 1):
+        for zl in range(n // 2 + 1):
+            x = np.concatenate(
+                [seq.sorted_sequence(n // 2, zu), seq.sorted_sequence(n // 2, zl)]
+            )
+            sel = classify_bisorted(x)
+            clean = {0: (0, 2), 1: (0, 3), 2: (1, 2), 3: (1, 3)}[sel]
+            quarters = [x[i * q : (i + 1) * q] for i in range(4)]
+            if not all(seq.is_clean(quarters[c]) for c in clean):
+                return False, f"counterexample {x}"
+            pair = np.concatenate(
+                [quarters[i] for i in range(4) if i not in clean]
+            )
+            if not seq.is_bisorted(pair):
+                return False, f"counterexample {x}"
+            count += 1
+    return True, f"all {count} bisorted profiles at n={n} satisfy the quarter split"
+
+
+def _check_theorem4() -> CheckResult:
+    from ..circuits.simulate import simulate
+    from ..core import sequences as seq
+    from ..core.kway import build_k_swap
+
+    rng = np.random.default_rng(1)
+    net = build_k_swap(64, 8)
+    for _ in range(200):
+        x = seq.random_k_sorted(64, 8, rng)
+        y = simulate(net, x[None, :])[0]
+        if not (
+            seq.is_clean_k_sorted(y[:32], 8) and seq.is_k_sorted(y[32:], 8)
+        ):
+            return False, f"counterexample {x}"
+    return True, "200 random 8-sorted sequences at n=64 split per Theorem 4"
+
+
+def _check_corollary() -> CheckResult:
+    from .verify import verify_sorter_exhaustive
+    from ..core.prefix_sorter import build_prefix_sorter
+
+    ok = verify_sorter_exhaustive(build_prefix_sorter(8)) and \
+        verify_sorter_exhaustive(build_prefix_sorter(16))
+    return ok, "Network 1 sorts all 2^8 and 2^16 binary inputs"
+
+
+def _check_concentrator() -> CheckResult:
+    from ..networks.concentrator import SortingConcentrator, check_concentration
+
+    c = SortingConcentrator(8)
+    pays = np.arange(8, dtype=np.int64)
+    for mask in range(256):
+        req = np.array([(mask >> (7 - i)) & 1 for i in range(8)], dtype=np.uint8)
+        if not check_concentration(req, pays, c.concentrate(req, pays)):
+            return False, f"counterexample mask {mask:08b}"
+    return True, "all 256 request masks at n=8 concentrated correctly"
+
+
+def _check_fish_concentrator() -> CheckResult:
+    from ..networks.concentrator import FishConcentrator, check_concentration
+
+    fc = FishConcentrator(256)
+    rng = np.random.default_rng(2)
+    req = rng.integers(0, 2, 256).astype(np.uint8)
+    pays = np.arange(256, dtype=np.int64)
+    res, rep = fc.concentrate(req, pays)
+    lg2 = _lg(256) ** 2
+    ok = check_concentration(req, pays, res) and fc.cost() <= 20 * 256 \
+        and rep.sorting_time <= 8 * lg2
+    return ok, (
+        f"n=256: cost {fc.cost()} (O(n)), concentration time "
+        f"{rep.sorting_time} vs lg^2 n = {lg2:.0f}"
+    )
+
+
+def _check_table2_ranking() -> CheckResult:
+    from ..baselines.costmodels import TABLE2_ROWS
+
+    n = 2.0 ** 16
+    ours = TABLE2_ROWS["this_paper"].cost(n)
+    losers = [
+        key for key, r in TABLE2_ROWS.items()
+        if key != "this_paper" and r.cost(n) <= ours
+    ]
+    return not losers, (
+        f"at n=2^16 our cost model {ours:.3g} beats all other Table II rows"
+        if not losers
+        else f"beaten by {losers}"
+    )
+
+
+def _check_columnsort_parity() -> CheckResult:
+    from ..baselines.columnsort import TimeMultiplexedColumnsort
+    from ..core.fish_sorter import FishSorter
+
+    n = 1024
+    fish, tm = FishSorter(n), TimeMultiplexedColumnsort(n)
+    x = np.random.default_rng(3).integers(0, 2, n).astype(np.uint8)
+    _, f_rep = fish.sort(x)
+    _, c_rep = tm.sort(x)
+    ok = (
+        fish.cost() <= 20 * n
+        and tm.cost() <= 20 * n
+        and f_rep.sorting_time < c_rep.sorting_time
+    )
+    return ok, (
+        f"n=1024: costs fish {fish.cost()} / columnsort {tm.cost()} (both "
+        f"O(n)); unpipelined times {f_rep.sorting_time} < {c_rep.sorting_time}"
+    )
+
+
+def _check_non_carrying_circuits() -> CheckResult:
+    from ..baselines.muller_preparata import build_muller_preparata_sorter
+    from ..circuits.simulate import NO_PAYLOAD, simulate_payload
+
+    net = build_muller_preparata_sorter(16)
+    tags = np.random.default_rng(4).integers(0, 2, (8, 16)).astype(np.uint8)
+    pays = np.tile(np.arange(16, dtype=np.int64), (8, 1))
+    _, p = simulate_payload(net, tags, pays)
+    ok = bool(np.all(p == NO_PAYLOAD))
+    return ok, "every output of the O(n) Boolean sorting circuit carries no payload"
+
+
+# ---------------------------------------------------------------------------
+# the ledger
+# ---------------------------------------------------------------------------
+
+CLAIMS: List[Claim] = [
+    Claim("C1", "abstract",
+          "any sequence of n bits can be sorted in O(lg^2 n) bit-level "
+          "delay using O(n) constant fanin gates",
+          _check_abstract_fish),
+    Claim("C2", "abstract",
+          "improves the cost complexity of Batcher's binary sorters by a "
+          "factor of O(lg^2 n) while matching their sorting time",
+          _check_batcher_factor),
+    Claim("C3", "abstract/Section IV",
+          "permutation networks with O(n lg n) bit-level cost and "
+          "O(lg^3 n) bit-level delay",
+          _check_permuter_headline),
+    Claim("C4", "abstract/Section V",
+          "our complexities outperform those of the AKS sorting network "
+          "until n becomes extremely large",
+          _check_aks_crossover),
+    Claim("C5", "Section III-A",
+          "Network 1: 3n lg n + O(lg^2 n) cost and "
+          "3 lg^2 n + 2 lg n lg lg n depth",
+          _check_network1),
+    Claim("C6", "Section III-B",
+          "Network 2: C(n) = 4n lg n via C_m(n) = 4n, D_m(n) = 2 lg n, "
+          "eliminating the prefix adder",
+          _check_network2),
+    Claim("C7", "Section III-C eqs. 17/19",
+          "fish sorter cost bounded by eq. 17; ~17n at k = lg n",
+          _check_fish_cost_bound),
+    Claim("C8", "Section III-C eqs. 22-26",
+          "fish sorting time O(lg^3 n) unpipelined, O(lg^2 n) pipelined",
+          _check_fish_times),
+    Claim("T1", "Theorem 1",
+          "shuffling the concatenation of two sorted halves yields a "
+          "member of A_n",
+          _check_theorem1),
+    Claim("T2", "Theorem 2",
+          "a balanced comparator stage maps A_n to one clean half and "
+          "one A_{n/2} half",
+          _check_theorem2),
+    Claim("T3", "Theorem 3",
+          "a bisorted sequence cut into quarters has two clean quarters; "
+          "the others concatenate to a half-size bisorted sequence",
+          _check_theorem3),
+    Claim("T4", "Theorem 4",
+          "the k-SWAP splits a k-sorted sequence into clean k-sorted and "
+          "k-sorted halves",
+          _check_theorem4),
+    Claim("COR", "Corollary",
+          "the prefix sorter sorts any binary sequence in ascending order",
+          _check_corollary),
+    Claim("C9", "Section IV",
+          "a binary sorter forms an (n,n)-concentrator via 0/1 tagging",
+          _check_concentrator),
+    Claim("C10", "Section IV",
+          "the fish binary sorter provides a time-multiplexed concentrator "
+          "with O(n) cost and O(lg^2 n) concentration time",
+          _check_fish_concentrator),
+    Claim("C11", "Table II",
+          "the paper's permutation network has the smallest order of cost "
+          "complexity among the compared designs",
+          _check_table2_ranking),
+    Claim("C12", "Section III-C",
+          "time-multiplexed columnsort matches the O(n) cost but not the "
+          "unpipelined sorting time",
+          _check_columnsort_parity),
+    Claim("C13", "Section I",
+          "O(n)-cost Boolean sorting circuits cannot carry or move the "
+          "inputs through (hence are outside the paper's scope)",
+          _check_non_carrying_circuits),
+]
+
+
+def run_all() -> Dict[str, CheckResult]:
+    """Execute every claim check; returns {claim_id: (ok, evidence)}."""
+    return {c.id: c.check() for c in CLAIMS}

@@ -1,0 +1,137 @@
+"""Measured-vs-claimed complexity extraction.
+
+Builds each network family across a size sweep, measures cost/depth (and
+sorting time for Model B designs), and compares against the paper's
+closed-form claims in :data:`repro.baselines.costmodels.SORTER_MODELS`.
+Also provides log-log slope fitting, the standard way to check an
+asymptotic exponent from measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.balanced import build_balanced_sorter
+from ..baselines.batcher import build_bitonic_sorter, build_odd_even_merge_sorter
+from ..baselines.columnsort import TimeMultiplexedColumnsort
+from ..baselines.costmodels import SORTER_MODELS
+from ..baselines.muller_preparata import build_muller_preparata_sorter
+from ..core.fish_sorter import FishSorter
+from ..core.mux_merger import build_mux_merger_sorter
+from ..core.prefix_sorter import build_prefix_sorter
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One (network, n) data point."""
+
+    network: str
+    n: int
+    cost: int
+    depth: int
+    #: sorting time; equals depth for combinational networks
+    time: int
+    #: paper-claimed values at this n (None when the claim is order-only)
+    claimed_cost: Optional[float] = None
+    claimed_depth: Optional[float] = None
+    claimed_time: Optional[float] = None
+
+
+def _combinational(name: str, build: Callable[[int], object], n: int) -> Measurement:
+    net = build(n)
+    model = SORTER_MODELS.get(name)
+    return Measurement(
+        network=name,
+        n=n,
+        cost=net.cost(),
+        depth=net.depth(),
+        time=net.depth(),
+        claimed_cost=model.cost(n) if model else None,
+        claimed_depth=model.depth(n) if model else None,
+        claimed_time=model.time(n) if model else None,
+    )
+
+
+def measure_network(name: str, n: int, pipelined: bool = False) -> Measurement:
+    """Build network ``name`` at size ``n`` and measure it.
+
+    Supported names: ``prefix``, ``mux_merger``, ``fish``,
+    ``batcher_oem``, ``batcher_bitonic``, ``balanced``,
+    ``columnsort_tm``, ``muller_preparata``.
+    """
+    if name == "prefix":
+        return _combinational("prefix", build_prefix_sorter, n)
+    if name == "mux_merger":
+        return _combinational("mux_merger", build_mux_merger_sorter, n)
+    if name == "batcher_oem":
+        return _combinational("batcher_oem", build_odd_even_merge_sorter, n)
+    if name == "batcher_bitonic":
+        return _combinational("batcher_bitonic", build_bitonic_sorter, n)
+    if name == "balanced":
+        return _combinational("balanced", build_balanced_sorter, n)
+    if name == "muller_preparata":
+        return _combinational("muller_preparata", build_muller_preparata_sorter, n)
+    if name == "fish":
+        fs = FishSorter(n)
+        _, report = fs.sort(np.zeros(n, dtype=np.uint8), pipelined=pipelined)
+        model = SORTER_MODELS["fish"]
+        return Measurement(
+            network="fish",
+            n=n,
+            cost=fs.cost(),
+            depth=max(p.depth for p in fs.inventory()),
+            time=report.sorting_time,
+            claimed_cost=model.cost(n),
+            claimed_depth=model.depth(n),
+            claimed_time=model.time(n),
+        )
+    if name == "columnsort_tm":
+        tm = TimeMultiplexedColumnsort(n)
+        _, report = tm.sort(np.zeros(n, dtype=np.uint8), pipelined=pipelined)
+        model = SORTER_MODELS["columnsort_tm"]
+        return Measurement(
+            network="columnsort_tm",
+            n=n,
+            cost=tm.cost(),
+            depth=tm.sorter.depth(),
+            time=report.sorting_time,
+            claimed_cost=model.cost(n),
+            claimed_depth=model.depth(n),
+            claimed_time=model.time(n),
+        )
+    raise ValueError(f"unknown network {name!r}")
+
+
+def measure_sweep(
+    name: str, sizes: Sequence[int], pipelined: bool = False
+) -> List[Measurement]:
+    """Measure one network across a size sweep."""
+    return [measure_network(name, n, pipelined=pipelined) for n in sizes]
+
+
+def loglog_slope(ns: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log2(y) against log2(n).
+
+    A cost of ``Theta(n^a polylog)`` measures a slope near ``a`` over a
+    geometric size sweep; this is the exponent check used throughout
+    EXPERIMENTS.md.
+    """
+    xs = np.log2(np.asarray(ns, dtype=float))
+    vs = np.log2(np.asarray(ys, dtype=float))
+    slope, _ = np.polyfit(xs, vs, 1)
+    return float(slope)
+
+
+def normalized_constant(
+    measurements: Sequence[Measurement], normalizer: Callable[[float], float]
+) -> List[float]:
+    """Measured cost divided by a growth function — the paper's "constant".
+
+    E.g. with ``normalizer = lambda n: n * log2(n)`` a 3n lg n-cost
+    network yields values near 3.
+    """
+    return [m.cost / normalizer(m.n) for m in measurements]

@@ -1,0 +1,98 @@
+"""Crossover analyses (abstract + Sections I/V claims).
+
+Two quantitative claims are checked here:
+
+* the fish sorter's cost beats Batcher's binary sorters by a factor of
+  ``Theta(lg^2 n)`` while matching their sorting time;
+* the paper's networks "outperform those of the AKS sorting network
+  until n becomes extremely large" — i.e. the AKS depth/cost advantage
+  only materializes beyond an astronomically large crossover ``n``,
+  because of AKS's constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..baselines.aks import AKSModel
+from ..baselines.costmodels import SORTER_MODELS
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """Result of a crossover search between two complexity curves."""
+
+    #: smallest lg(n) at which `challenger` is at least as good
+    lg_n: Optional[float]
+    #: human-readable n (e.g. "2^123"); None if no crossover below bound
+    description: str
+
+
+def find_crossover(
+    ours: Callable[[float], float],
+    theirs: Callable[[float], float],
+    lg_max: float = 900.0,
+) -> Crossover:
+    """Smallest ``lg n`` (n = 2^x, x >= 1) where ``theirs(n) <= ours(n)``.
+
+    Works on lg-space with a scan + bisection so crossovers at
+    astronomically large n (the AKS situation) are still found exactly.
+    ``lg_max`` stays below IEEE-754 range (2^1024); anything past it is
+    "no crossover" for every physically meaningful purpose.
+    """
+
+    def diff(lg_n: float) -> float:
+        n = 2.0 ** lg_n
+        return theirs(n) - ours(n)
+
+    lo, hi = 1.0, None
+    x = 1.0
+    while x <= lg_max:
+        if diff(x) <= 0:
+            hi = x
+            break
+        lo = x
+        x *= 2.0
+    if hi is None:
+        return Crossover(None, f"no crossover up to n = 2^{lg_max:g}")
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if diff(mid) <= 0:
+            hi = mid
+        else:
+            lo = mid
+    return Crossover(hi, f"crossover near n = 2^{hi:.1f}")
+
+
+def aks_time_crossover(depth_constant: float = 6100.0) -> Crossover:
+    """Where AKS's O(lg n) time first beats the fish sorter's O(lg^3 n).
+
+    AKS time: ``c lg n``; fish time (paper eq. 24): ``~ lg^3 n``.
+    Crossover at ``lg^2 n = c``, i.e. ``n = 2^sqrt(c)`` — about 2^78 for
+    c = 6100, far beyond any buildable machine: the paper's claim.
+    """
+    aks = AKSModel(depth_constant)
+    return find_crossover(
+        ours=lambda n: math.log2(n) ** 3,
+        theirs=aks.sorting_time,
+    )
+
+
+def aks_cost_crossover(depth_constant: float = 6100.0) -> Crossover:
+    """Where AKS's cost first beats Network 1's ``3 n lg n``.
+
+    Both are ``Theta(n lg n)``; AKS's constant is ``c/2`` per element, so
+    it *never* crosses below ``3 n lg n`` — returned as "no crossover".
+    """
+    aks = AKSModel(depth_constant)
+    ours = SORTER_MODELS["prefix"].cost
+    return find_crossover(ours=ours, theirs=aks.cost)
+
+
+def batcher_improvement_factor(n: float) -> float:
+    """Cost(Batcher binary OEM) / Cost(fish): the claimed O(lg^2 n) gap."""
+    batcher = SORTER_MODELS["batcher_oem"].cost(n)
+    fish = SORTER_MODELS["fish"].cost(n)
+    return batcher / fish

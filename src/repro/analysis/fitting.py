@@ -1,0 +1,80 @@
+"""Least-squares fitting of cost-model constants.
+
+The paper's headline constants — 3 for Network 1, 4 for Network 2, 17
+for Network 3, and "<= 17" overall (Section V) — are checkable by
+regressing measured costs against the claimed growth terms.  E.g.::
+
+    fit = fit_cost_model(sizes, costs, ["n*lg(n)", "n", "lg(n)**2"])
+    fit.coefficients["n*lg(n)"]     # the paper's leading constant
+
+Terms are small expressions over ``n`` and ``lg`` (log2); the fit is
+ordinary least squares on the design matrix of term values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+_ALLOWED = {"n": None, "lg": math.log2}
+
+
+def _term_value(term: str, n: float) -> float:
+    return eval(  # noqa: S307 - restricted namespace, library-internal DSL
+        term, {"__builtins__": {}}, {"n": n, "lg": math.log2}
+    )
+
+
+@dataclass(frozen=True)
+class CostFit:
+    """Result of fitting measured costs to growth terms."""
+
+    terms: List[str]
+    coefficients: Dict[str, float]
+    residual_rms: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        return sum(
+            self.coefficients[t] * _term_value(t, n) for t in self.terms
+        )
+
+
+def fit_cost_model(
+    sizes: Sequence[float], costs: Sequence[float], terms: Sequence[str]
+) -> CostFit:
+    """Least-squares fit of ``cost ~ sum_i c_i * term_i(n)``."""
+    sizes = list(sizes)
+    costs = np.asarray(costs, dtype=float)
+    if len(sizes) != costs.size:
+        raise ValueError("sizes and costs must have equal length")
+    if len(sizes) < len(terms):
+        raise ValueError("need at least as many data points as terms")
+    design = np.array(
+        [[_term_value(t, n) for t in terms] for n in sizes], dtype=float
+    )
+    coef, *_ = np.linalg.lstsq(design, costs, rcond=None)
+    pred = design @ coef
+    resid = costs - pred
+    ss_res = float((resid ** 2).sum())
+    ss_tot = float(((costs - costs.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+    return CostFit(
+        terms=list(terms),
+        coefficients=dict(zip(terms, map(float, coef))),
+        residual_rms=math.sqrt(ss_res / costs.size),
+        r_squared=r2,
+    )
+
+
+def fit_network_constant(
+    name: str, sizes: Sequence[int], leading_term: str, extra_terms: Sequence[str] = ()
+) -> CostFit:
+    """Measure network ``name`` across ``sizes`` and fit its constants."""
+    from .complexity import measure_network
+
+    costs = [measure_network(name, n).cost for n in sizes]
+    return fit_cost_model(sizes, costs, [leading_term, *extra_terms])

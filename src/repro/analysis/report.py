@@ -1,0 +1,87 @@
+"""Programmatic reproduction report.
+
+``python -m repro`` (see :mod:`repro.__main__`) calls
+:func:`reproduction_report` to regenerate a compact paper-vs-measured
+summary — a fast, self-contained version of what the full benchmark
+suite produces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..baselines.batcher import build_odd_even_merge_sorter
+from ..core.fish_sorter import FishSorter
+from ..core.mux_merger import build_mux_merger_sorter
+from ..core.prefix_sorter import build_prefix_sorter
+from ..networks.benes import BenesNetwork
+from ..networks.permutation import RadixPermuter
+from .crossover import aks_time_crossover
+from .tables import format_table
+from .verify import verify_netlist_random, verify_sorter_exhaustive
+
+
+def reproduction_report(n: int = 256) -> str:
+    """Build, verify, and measure the paper's main constructions at n."""
+    lg = math.log2(n)
+    sections: List[str] = []
+
+    prefix = build_prefix_sorter(n)
+    mux = build_mux_merger_sorter(n)
+    fish = FishSorter(n)
+    batcher = build_odd_even_merge_sorter(n)
+    ok = all(
+        verify_netlist_random(net, trials=64) for net in (prefix, mux, batcher)
+    )
+    x = np.random.default_rng(0).integers(0, 2, n).astype(np.uint8)
+    out, rep_pipe = fish.sort(x, pipelined=True)
+    ok = ok and np.array_equal(out, np.sort(x))
+    _, rep_seq = fish.sort(x)
+
+    sections.append(
+        format_table(
+            ["network", "measured cost", "paper claim", "depth/time"],
+            [
+                ["Network 1 (prefix)", prefix.cost(),
+                 f"3n lg n = {int(3 * n * lg)}", prefix.depth()],
+                ["Network 2 (mux-merger)", mux.cost(),
+                 f"<= 4n lg n = {int(4 * n * lg)}", mux.depth()],
+                ["Network 3 (fish)", fish.cost(),
+                 f"~17n = {17 * n}",
+                 f"{rep_seq.sorting_time} / {rep_pipe.sorting_time} piped"],
+                ["Batcher OEM (baseline)", batcher.cost(),
+                 "(lg^2-lg+4)n/4 - 1", batcher.depth()],
+            ],
+            title=f"Binary sorters at n = {n} (verified: {ok})",
+        )
+    )
+
+    rp = RadixPermuter(min(n, 64), backend="fish")
+    bn = BenesNetwork(min(n, 64))
+    sections.append(
+        format_table(
+            ["permutation network", "cost", "routing"],
+            [
+                [f"radix permuter over fish (n={min(n, 64)})", rp.cost(),
+                 f"self-routing, {rp.routing_time()} delays"],
+                [f"Benes fabric (n={min(n, 64)})", bn.cost(),
+                 "looping algorithm (global)"],
+            ],
+            title="Section IV permutation networks",
+        )
+    )
+
+    cx = aks_time_crossover()
+    sections.append(
+        "AKS comparison (abstract claim): fish sorting time beats AKS "
+        f"(c = 6100) until {cx.description} — 'extremely large' indeed."
+    )
+    small = build_mux_merger_sorter(8)
+    sections.append(
+        "exhaustive check: 8-input mux-merger sorts all 256 binary inputs: "
+        f"{verify_sorter_exhaustive(small)}"
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,90 @@
+"""Zero-one principle tooling (Section I).
+
+"The well-known zero-one principle dictates that any nonadaptive network
+of comparators that sorts an arbitrary binary sequence also sorts any
+'totally ordered' set of elements."  The paper's adaptive networks
+deliberately give that up in exchange for lower cost.
+
+This module makes the distinction executable:
+
+* :func:`is_nonadaptive` — structural check: a network is nonadaptive
+  iff it consists solely of comparators (the paper's definition, citing
+  [25]).
+* :func:`extract_comparator_schedule` — recover the (i, j) comparator
+  schedule from a comparator-only netlist, so it can be replayed on
+  arbitrary ordered values with
+  :func:`repro.baselines.batcher.apply_schedule` — an *experimental*
+  zero-one principle check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..baselines.batcher import Stage
+from ..circuits import elements as el
+from ..circuits.netlist import Netlist
+
+
+def compact_stages(schedule: List[Stage]) -> List[Stage]:
+    """Repack a comparator schedule into maximal parallel stages.
+
+    Greedy ASAP layering: each comparator is placed in the earliest
+    stage after the last stage touching either of its lines.  The
+    result's stage count equals the network's comparator depth, so
+    ``len(compact_stages(extract_comparator_schedule(net)))`` recovers
+    ``net.depth()`` for comparator-only netlists.
+    """
+    ready: dict = {}
+    stages: List[Stage] = []
+    for stage in schedule:
+        for pair in stage:
+            i, j = pair[0], pair[1]
+            lvl = max(ready.get(i, 0), ready.get(j, 0))
+            if lvl == len(stages):
+                stages.append([])
+            stages[lvl].append((i, j))
+            ready[i] = ready[j] = lvl + 1
+    return stages
+
+
+def is_nonadaptive(netlist: Netlist) -> bool:
+    """True iff the network is built solely from comparators."""
+    return all(e.kind in (el.COMPARATOR, el.BUF) for e in netlist.elements)
+
+
+def extract_comparator_schedule(netlist: Netlist) -> List[Stage]:
+    """Recover a line-indexed comparator schedule from a netlist.
+
+    Each comparator is emitted as its own single-pair stage in
+    topological order (stages are only a parallelism grouping).  The
+    extraction performs Knuth's *standardization*: the min output is
+    always assigned to the lower line, which converts any comparator
+    network into an equivalent standard-orientation one; the final
+    line-to-output check verifies the standardized schedule reproduces
+    the netlist's output placement.
+    """
+    if not is_nonadaptive(netlist):
+        raise ValueError(
+            "schedule extraction requires a nonadaptive (comparator-only) "
+            "network; this one contains other elements"
+        )
+    line_of = {w: i for i, w in enumerate(netlist.inputs)}
+    schedule: List[Stage] = []
+    for e in netlist.elements:
+        if e.kind == el.BUF:
+            line_of[e.outs[0]] = line_of[e.ins[0]]
+            continue
+        a, b = (line_of[w] for w in e.ins)
+        lo, hi = e.outs
+        if a == b:
+            raise ValueError("comparator with both inputs on one line")
+        i, j = min(a, b), max(a, b)
+        schedule.append([(i, j)])
+        line_of[lo], line_of[hi] = i, j
+    for pos, w in enumerate(netlist.outputs):
+        if line_of.get(w) != pos:
+            raise ValueError(
+                "outputs are not a line-preserving mapping; cannot replay"
+            )
+    return schedule

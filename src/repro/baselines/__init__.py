@@ -1,0 +1,60 @@
+"""Baseline networks and cost models the paper compares against."""
+
+from .aks import AKSModel, PATERSON_DEPTH_CONSTANT
+from .balanced import (
+    balanced_sort_behavioral,
+    balanced_sorter_cost,
+    build_balanced_sorter,
+)
+from .batcher import (
+    apply_schedule,
+    batcher_depth,
+    bitonic_comparator_count,
+    bitonic_schedule,
+    build_bitonic_sorter,
+    build_from_schedule,
+    build_odd_even_merge_sorter,
+    odd_even_merge_schedule,
+    oem_comparator_count,
+)
+from .columnsort import (
+    ColumnsortReport,
+    TimeMultiplexedColumnsort,
+    build_columnsort_network,
+    choose_dims,
+    columnsort,
+    columnsort_cost_model,
+    leighton_valid,
+)
+from .costmodels import SORTER_MODELS, TABLE2_ROWS, ComplexityModel, Table2Row
+from .muller_preparata import build_muller_preparata_sorter, csa_popcount
+
+__all__ = [
+    "AKSModel",
+    "ColumnsortReport",
+    "ComplexityModel",
+    "PATERSON_DEPTH_CONSTANT",
+    "SORTER_MODELS",
+    "TABLE2_ROWS",
+    "Table2Row",
+    "TimeMultiplexedColumnsort",
+    "apply_schedule",
+    "balanced_sort_behavioral",
+    "balanced_sorter_cost",
+    "batcher_depth",
+    "bitonic_comparator_count",
+    "bitonic_schedule",
+    "build_balanced_sorter",
+    "build_bitonic_sorter",
+    "build_columnsort_network",
+    "build_from_schedule",
+    "build_muller_preparata_sorter",
+    "build_odd_even_merge_sorter",
+    "choose_dims",
+    "columnsort",
+    "columnsort_cost_model",
+    "csa_popcount",
+    "leighton_valid",
+    "odd_even_merge_schedule",
+    "oem_comparator_count",
+]

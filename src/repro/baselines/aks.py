@@ -1,0 +1,44 @@
+"""AKS sorting network — cost model (substitution, see DESIGN.md).
+
+The paper never constructs AKS; it argues (abstract, Sections I and V)
+that although AKS achieves ``O(lg n)`` depth and ``O(n lg n)`` cost
+asymptotically, "the constants hidden in these complexities are so large
+that our complexities outperform those of the AKS sorting network until
+n becomes extremely large", and that its own constants are "very small
+(<= 17)".
+
+We therefore model AKS by its published constants rather than building
+it.  Paterson's simplification (Algorithmica 1990, reference [20]) gives
+depth approximately ``c * lg n`` with ``c ~ 6100``; the original
+Ajtai–Komlós–Szemerédi constant is larger still (often quoted in the
+thousands to millions depending on the analysis).  The model exposes the
+constant as a parameter so the crossover analysis
+(:mod:`repro.analysis.crossover`) can sweep it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Depth constant of Paterson's variant of AKS (reference [20]).
+PATERSON_DEPTH_CONSTANT = 6100.0
+
+
+@dataclass(frozen=True)
+class AKSModel:
+    """Parametric cost/depth model of an AKS-family sorting network."""
+
+    depth_constant: float = PATERSON_DEPTH_CONSTANT
+
+    def depth(self, n: float) -> float:
+        """Bit-level depth ``c * lg n``."""
+        return self.depth_constant * math.log2(n)
+
+    def cost(self, n: float) -> float:
+        """Bit-level cost: ``(n/2)`` comparators per level times depth."""
+        return (n / 2.0) * self.depth(n)
+
+    def sorting_time(self, n: float) -> float:
+        """Sorting time equals depth for a combinational network."""
+        return self.depth(n)

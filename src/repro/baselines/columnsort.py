@@ -1,0 +1,282 @@
+"""Leighton's columnsort and its time-multiplexed network version.
+
+Columnsort (Leighton 1985, [14] in the paper) sorts ``n = r*s`` values
+arranged as an ``r x s`` matrix (column-major order) in eight steps, four
+of which sort columns; validity needs ``s | r`` and ``r >= 2 (s-1)^2``.
+
+The paper's Section III-C compares the fish sorter against the
+*time-multiplexed network version*: every column-sorting step is realized
+by multiplexing columns through one ``r``-input Batcher sorter, giving an
+``O(n)``-cost binary sorting network whose sorting time is ``O(lg^4 n)``
+unpipelined and ``O(lg^2 n)`` pipelined — but pipelining requires the
+data to be "separately pipelined through each of the four sorters",
+whereas the fish sorter pipelines through a *single* ``n/lg n``-input
+sorter.  :class:`TimeMultiplexedColumnsort` reproduces that design with
+a real Batcher netlist doing every column pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Netlist
+from ..circuits.simulate import simulate
+from .batcher import batcher_depth, build_odd_even_merge_sorter
+
+
+def leighton_valid(r: int, s: int) -> bool:
+    """Columnsort's validity condition: ``s | r`` and ``r >= 2(s-1)^2``."""
+    return s >= 1 and r >= 1 and r % s == 0 and r >= 2 * (s - 1) ** 2
+
+
+def _check_dims(n: int, r: int, s: int) -> None:
+    if r * s != n:
+        raise ValueError(f"r*s = {r * s} != n = {n}")
+    if not leighton_valid(r, s):
+        raise ValueError(
+            f"columnsort needs s | r and r >= 2(s-1)^2; got r={r}, s={s}"
+        )
+
+
+def columnsort(values, r: int, s: int) -> np.ndarray:
+    """Leighton's 8-step columnsort; returns the sorted flat array.
+
+    ``values`` is read and returned in column-major order (the order in
+    which columnsort defines sortedness).  Works on any comparable dtype.
+    """
+    flat = np.asarray(values).ravel()
+    _check_dims(flat.size, r, s)
+    # column-major matrix: mat[:, j] is column j
+    mat = flat.reshape(s, r).T.astype(flat.dtype)
+
+    def sort_columns(m: np.ndarray) -> np.ndarray:
+        return np.sort(m, axis=0)
+
+    mat = sort_columns(mat)                      # step 1
+    mat = mat.T.reshape(r, s)                    # step 2: transpose & reshape
+    mat = sort_columns(mat)                      # step 3
+    mat = mat.reshape(s, r).T                    # step 4: inverse of step 2
+    mat = sort_columns(mat)                      # step 5
+    half = r // 2
+    # step 6: shift down by floor(r/2) in column-major order, padding the
+    # head with -inf and the tail with +inf (an r x (s+1) matrix).
+    lo, hi = _pad_values(flat)
+    linear = mat.T.ravel()  # column-major flatten
+    padded = np.concatenate(
+        [np.full(half, lo, dtype=flat.dtype), linear,
+         np.full(r - half, hi, dtype=flat.dtype)]
+    )
+    shifted = padded.reshape(s + 1, r).T
+    shifted = sort_columns(shifted)              # step 7
+    # step 8: unshift (drop the sentinels, shift back up)
+    return shifted.T.ravel()[half : half + flat.size]
+
+
+def _pad_values(flat: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """-inf / +inf sentinels for the shift step, per dtype."""
+    if flat.dtype.kind == "f":
+        return np.array(-np.inf, dtype=flat.dtype), np.array(np.inf, dtype=flat.dtype)
+    info = np.iinfo(flat.dtype)
+    return np.array(info.min, dtype=flat.dtype), np.array(info.max, dtype=flat.dtype)
+
+
+def choose_dims(n: int) -> Tuple[int, int]:
+    """Pick valid power-of-two ``(r, s)`` with the most columns.
+
+    Maximizing ``s`` under ``r >= 2(s-1)^2`` tracks the paper's
+    ``s = lg^2 n`` scaling as closely as powers of two allow.
+    """
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"n must be a power of two >= 2, got {n}")
+    best: Optional[Tuple[int, int]] = None
+    s = 1
+    while s * s <= n:
+        r = n // s
+        if leighton_valid(r, s):
+            best = (r, s)
+        s *= 2
+    if best is None:
+        raise ValueError(f"no valid power-of-two columnsort dims for n={n}")
+    return best
+
+
+@dataclass(frozen=True)
+class ColumnsortReport:
+    """Timing of one time-multiplexed columnsort run."""
+
+    n: int
+    r: int
+    s: int
+    pipelined: bool
+    sorting_time: int
+    column_passes: int
+
+
+class TimeMultiplexedColumnsort:
+    """Columnsort with every column pass through one Batcher netlist.
+
+    Hardware: one ``r``-input Batcher odd-even merge sorter, an
+    ``(n, r)``-multiplexer and an ``(r, n)``-demultiplexer (charged at the
+    paper's cost ``n`` / depth ``lg(n/r)`` each; the shift steps are free
+    wiring).  Binary inputs only — this is the baseline the paper's
+    Section III-C compares the fish sorter against.
+    """
+
+    def __init__(self, n: int, r: Optional[int] = None, s: Optional[int] = None):
+        if (r is None) != (s is None):
+            raise ValueError("give both r and s, or neither")
+        if r is None:
+            r, s = choose_dims(n)
+        _check_dims(n, r, s)
+        self.n, self.r, self.s = n, r, s
+        self.sorter: Netlist = build_odd_even_merge_sorter(r)
+        self.mux_depth = max(1, math.ceil(math.log2(max(self.s + 1, 2))))
+
+    def cost(self) -> int:
+        """Sorter cost plus the paper-convention mux/demux cost (2n)."""
+        return self.sorter.cost() + 2 * self.n
+
+    def _sort_columns(self, mat: np.ndarray) -> np.ndarray:
+        out = simulate(self.sorter, mat.T.astype(np.uint8))
+        return out.T
+
+    def sort(self, bits, pipelined: bool = False) -> Tuple[np.ndarray, ColumnsortReport]:
+        """Sort ``n`` bits; returns ``(sorted_bits, report)``."""
+        flat = np.asarray(bits, dtype=np.uint8).ravel()
+        if flat.size != self.n:
+            raise ValueError(f"expected {self.n} bits, got {flat.size}")
+        r, s, half = self.r, self.s, self.r // 2
+        mat = flat.reshape(s, r).T
+        passes = 0
+        time = 0
+        d = self.sorter.depth()
+
+        def charge(cols: int) -> int:
+            per_pass = self.mux_depth + d + self.mux_depth
+            if pipelined:
+                return (cols - 1) + per_pass
+            return cols * per_pass
+
+        mat = self._sort_columns(mat); passes += s; time += charge(s)   # 1
+        mat = mat.T.reshape(r, s)                                        # 2
+        mat = self._sort_columns(mat); passes += s; time += charge(s)   # 3
+        mat = mat.reshape(s, r).T                                        # 4
+        mat = self._sort_columns(mat); passes += s; time += charge(s)   # 5
+        linear = mat.T.ravel()                                           # 6
+        padded = np.concatenate(
+            [np.zeros(half, dtype=np.uint8), linear,
+             np.ones(r - half, dtype=np.uint8)]
+        )
+        shifted = padded.reshape(s + 1, r).T
+        shifted = self._sort_columns(shifted)                            # 7
+        passes += s + 1; time += charge(s + 1)
+        out = shifted.T.ravel()[half : half + self.n]                    # 8
+        report = ColumnsortReport(
+            n=self.n, r=r, s=s, pipelined=pipelined,
+            sorting_time=time, column_passes=passes,
+        )
+        return out, report
+
+
+def build_columnsort_network(n: int, r: Optional[int] = None,
+                             s: Optional[int] = None) -> "Netlist":
+    """The *non-multiplexed* binary columnsort network (Section III-C end).
+
+    "Without time-multiplexing, a practical binary columnsort network,
+    e.g., one using Batcher's sorters, would require lg^2 n
+    (n/lg^2 n)-input Batcher's sorters in its construction, resulting in
+    a bit-level cost of O(n lg^2 n)."
+
+    This builds that network as one combinational netlist: four
+    column-sorting stages (each a bank of parallel Batcher sorters),
+    pure-wiring transpose/untranspose/shift permutations, and constant
+    0/1 pads for the shift stage.  Binary inputs only.
+    """
+    from ..circuits.builder import CircuitBuilder
+    from .batcher import build_from_schedule, odd_even_merge_schedule
+
+    if (r is None) != (s is None):
+        raise ValueError("give both r and s, or neither")
+    if r is None:
+        r, s = choose_dims(n)
+    _check_dims(n, r, s)
+    b = CircuitBuilder(f"columnsort-network-{n}")
+    inputs = b.add_inputs(n)
+    schedule = odd_even_merge_schedule(r)
+
+    def sort_columns(wires, n_cols):
+        out = []
+        for c in range(n_cols):
+            col = wires[c * r : (c + 1) * r]
+            current = list(col)
+            for stage in schedule:
+                for i, j in stage:
+                    lo, hi = b.comparator(current[i], current[j])
+                    current[i], current[j] = lo, hi
+            out.extend(current)
+        return out
+
+    # column-major wire list: wires[c*r + i] = row i of column c
+    wires = list(inputs)
+    wires = sort_columns(wires, s)                           # step 1
+    # step 2: transpose & reshape == np: mat.T.reshape(r, s) on (r, s)
+    # column-major wires: new[c*r + i] = old value at matrix position
+    # given by the numpy identity; derive the index map directly.
+    wires = [wires[_transpose_index(p, r, s)] for p in range(n)]
+    wires = sort_columns(wires, s)                           # step 3
+    wires_inv = [0] * n
+    for p in range(n):
+        wires_inv[_transpose_index(p, r, s)] = wires[p]      # step 4 (inverse)
+    wires = wires_inv
+    wires = sort_columns(wires, s)                           # step 5
+    half = r // 2
+    padded = (
+        [b.const(0)] * half + wires + [b.const(1)] * (r - half)  # step 6
+    )
+    padded = sort_columns(padded, s + 1)                     # step 7
+    outputs = padded[half : half + n]                        # step 8
+    return b.build(outputs)
+
+
+def _transpose_index(p: int, r: int, s: int) -> int:
+    """Column-major index map of columnsort's step-2 transpose.
+
+    Output column-major position ``p`` reads input column-major position
+    computed via the numpy identity ``B = A.T.reshape(r, s)`` used by
+    :func:`columnsort`.
+    """
+    # output position p -> matrix coords (row i, col c), column-major
+    c, i = divmod(p, r)
+    # B[i, c] = A.T.reshape(r,s)[i, c]; flat row-major index of B is
+    # i*s + c, which reads A.T's flat row-major = A's column-major order.
+    flat = i * s + c
+    # A's column-major position `flat` corresponds to A[row=flat % r,
+    # col=flat // r]; our input layout is also column-major, so it is
+    # exactly index `flat`.
+    return flat
+
+
+def columnsort_cost_model(n: int) -> dict:
+    """Asymptotic cost/time model of the paper's Section III-C comparison.
+
+    With ``s = lg^2 n`` columns of ``r = n / lg^2 n`` elements sorted by a
+    Batcher sorter, the network has ``O(n)`` cost, ``O(lg^4 n)``
+    unpipelined sorting time, and ``O(lg^2 n)`` pipelined sorting time.
+    """
+    lg = math.log2(n)
+    r = n / (lg * lg) if lg > 0 else 1.0
+    lgr = math.log2(max(r, 2))
+    batcher_cost = r * lgr * (lgr + 1) / 4
+    return {
+        "n": n,
+        "r": r,
+        "s": lg * lg,
+        "sorter_cost": batcher_cost,
+        "total_cost": batcher_cost + 2 * n,
+        "time_unpipelined": 4 * lg * lg * (lgr * (lgr + 1) / 2),
+        "time_pipelined": 4 * (lg * lg + lgr * (lgr + 1) / 2),
+    }

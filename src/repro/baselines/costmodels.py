@@ -1,0 +1,195 @@
+"""Closed-form complexity models for every network the paper discusses.
+
+Two registries:
+
+* :data:`SORTER_MODELS` — the paper's binary-sorter landscape
+  (Sections I, III): claimed bit-level cost, depth, and sorting time of
+  each binary sorting network, as callables of ``n`` (and ``k`` where
+  applicable).  Used by the analysis package to check measured netlists
+  against claims and to reproduce the crossover arguments.
+* :data:`TABLE2_ROWS` — Table II, "Complexities of various permutation
+  network designs in bit level", encoded exactly as the paper presents
+  it (asymptotic expressions), plus evaluable representative functions
+  so the table can be regenerated with numbers.
+
+Where the paper states only an order expression the representative
+callable uses constant 1; where it states a constant (e.g. ``3 n lg n``
+for Network 1, ``4 n lg n`` for Network 2, eq. 17/19 for Network 3) the
+callable uses the paper's constant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+Fn = Callable[[float], float]
+
+
+def _lg(n: float) -> float:
+    return math.log2(n)
+
+
+@dataclass(frozen=True)
+class ComplexityModel:
+    """Claimed complexity of one network design."""
+
+    name: str
+    #: human-readable asymptotic expressions, as printed in the paper
+    cost_expr: str
+    depth_expr: str
+    time_expr: str
+    #: representative numeric forms (paper constants where given)
+    cost: Fn
+    depth: Fn
+    time: Fn
+    source: str = ""
+
+
+SORTER_MODELS: Dict[str, ComplexityModel] = {
+    "prefix": ComplexityModel(
+        name="Network 1 (prefix binary sorter)",
+        cost_expr="3 n lg n + O(lg^2 n)",
+        depth_expr="3 lg^2 n + 2 lg n lg lg n",
+        time_expr="= depth",
+        cost=lambda n: 3 * n * _lg(n),
+        depth=lambda n: 3 * _lg(n) ** 2 + 2 * _lg(n) * _lg(max(_lg(n), 2)),
+        time=lambda n: 3 * _lg(n) ** 2 + 2 * _lg(n) * _lg(max(_lg(n), 2)),
+        source="Section III-A",
+    ),
+    "mux_merger": ComplexityModel(
+        name="Network 2 (mux-merger binary sorter)",
+        cost_expr="4 n lg n",
+        depth_expr="O(lg^2 n)",
+        time_expr="= depth",
+        cost=lambda n: 4 * n * _lg(n),
+        depth=lambda n: _lg(n) * (_lg(n) + 1),  # sum of 2 lg m per level
+        time=lambda n: _lg(n) * (_lg(n) + 1),
+        source="Section III-B",
+    ),
+    "fish": ComplexityModel(
+        name="Network 3 (fish binary sorter, k = lg n)",
+        cost_expr="17n + 5 lg^2 n lg lg n + 4 lg n lg lg n = O(n)",
+        depth_expr="O(lg^2 n)",
+        time_expr="O(lg^3 n) unpipelined / O(lg^2 n) pipelined",
+        cost=lambda n: 17 * n
+        + 5 * _lg(n) ** 2 * _lg(max(_lg(n), 2))
+        + 4 * _lg(n) * _lg(max(_lg(n), 2)),
+        depth=lambda n: 2 * _lg(n) + 2 * _lg(n) ** 2 + _lg(n) + 2 * _lg(n) ** 2,
+        time=lambda n: _lg(n) ** 3,
+        source="Section III-C, eqs. 17-24",
+    ),
+    "batcher_oem": ComplexityModel(
+        name="Batcher odd-even merge (binary)",
+        cost_expr="(lg^2 n - lg n + 4) n/4 - 1 = O(n lg^2 n)",
+        depth_expr="lg n (lg n + 1) / 2",
+        time_expr="= depth",
+        cost=lambda n: (_lg(n) ** 2 - _lg(n) + 4) * n / 4 - 1,
+        depth=lambda n: _lg(n) * (_lg(n) + 1) / 2,
+        time=lambda n: _lg(n) * (_lg(n) + 1) / 2,
+        source="Batcher 1968 (reference [3])",
+    ),
+    "balanced": ComplexityModel(
+        name="Balanced sorting network (Dowd et al.)",
+        cost_expr="(n/2) lg^2 n",
+        depth_expr="lg^2 n",
+        time_expr="= depth",
+        cost=lambda n: n / 2 * _lg(n) ** 2,
+        depth=lambda n: _lg(n) ** 2,
+        time=lambda n: _lg(n) ** 2,
+        source="references [8], [9]",
+    ),
+    "columnsort_tm": ComplexityModel(
+        name="Time-multiplexed columnsort (Batcher sub-sorters)",
+        cost_expr="O(n)",
+        depth_expr="O(lg^2 n)",
+        time_expr="O(lg^4 n) unpipelined / O(lg^2 n) pipelined",
+        cost=lambda n: n,
+        depth=lambda n: _lg(n) ** 2,
+        time=lambda n: _lg(n) ** 4,
+        source="Leighton 1985 (reference [14]), Section III-C discussion",
+    ),
+    "aks": ComplexityModel(
+        name="AKS sorting network (Paterson constants)",
+        cost_expr="O(n lg n), huge constants",
+        depth_expr="~6100 lg n",
+        time_expr="= depth",
+        cost=lambda n: 6100.0 * _lg(n) * n / 2,
+        depth=lambda n: 6100.0 * _lg(n),
+        time=lambda n: 6100.0 * _lg(n),
+        source="references [1], [20]",
+    ),
+    "muller_preparata": ComplexityModel(
+        name="Muller-Preparata Boolean sorting circuit (non-carrying)",
+        cost_expr="O(n)",
+        depth_expr="O(lg n)",
+        time_expr="= depth",
+        cost=lambda n: 9 * n,
+        depth=lambda n: 2 * _lg(n),
+        time=lambda n: 2 * _lg(n),
+        source="references [17], [26]",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II (permutation-network comparison)."""
+
+    construction: str
+    cost_expr: str
+    depth_expr: str
+    time_expr: str
+    cost: Fn
+    time: Fn
+    in_repo: str  # which module realizes/measures it, "" if model-only
+
+
+TABLE2_ROWS: Dict[str, Table2Row] = {
+    "benes": Table2Row(
+        construction="Benes network [4] (+ O(n lg n)-processor routing [18])",
+        cost_expr="O(n lg^2 n)",
+        depth_expr="O(lg n)",
+        time_expr="O(lg^4 n / lg lg n)",
+        cost=lambda n: n * _lg(n) ** 2,
+        time=lambda n: _lg(n) ** 4 / _lg(max(_lg(n), 2)),
+        in_repo="repro.networks.benes",
+    ),
+    "batcher": Table2Row(
+        construction="Batcher sorting networks [3] (word-level comparators)",
+        cost_expr="O(n lg^3 n)",
+        depth_expr="O(lg^3 n)",
+        time_expr="O(lg^3 n)",
+        cost=lambda n: n * _lg(n) ** 3,
+        time=lambda n: _lg(n) ** 3,
+        in_repo="repro.baselines.batcher",
+    ),
+    "koppelman_oruc": Table2Row(
+        construction="Koppelman-Oruc self-routing network [13]",
+        cost_expr="O(n lg^3 n)",
+        depth_expr="O(lg^3 n)",
+        time_expr="O(lg^3 n)",
+        cost=lambda n: n * _lg(n) ** 3,
+        time=lambda n: _lg(n) ** 3,
+        in_repo="",
+    ),
+    "jan_oruc": Table2Row(
+        construction="Jan-Oruc radix permuter [11]",
+        cost_expr="O(n lg^2 n)",
+        depth_expr="O(lg^2 n lg lg n)",
+        time_expr="O(lg^2 n lg lg n)",
+        cost=lambda n: n * _lg(n) ** 2,
+        time=lambda n: _lg(n) ** 2 * _lg(max(_lg(n), 2)),
+        in_repo="",
+    ),
+    "this_paper": Table2Row(
+        construction="This paper (radix permuter over fish binary sorters)",
+        cost_expr="O(n lg n)",
+        depth_expr="O(lg^3 n)",
+        time_expr="O(lg^3 n)",
+        cost=lambda n: n * _lg(n),
+        time=lambda n: _lg(n) ** 3,
+        in_repo="repro.networks.permutation",
+    ),
+}

@@ -1,0 +1,86 @@
+"""Muller–Preparata-style Boolean sorting *circuit* (reference [17]).
+
+Section I notes: "there exist O(n) bit-level cost and O(lg n) bit-level
+depth n-input Boolean sorting circuits ... These circuits cannot carry,
+or move the inputs through, however; they generate only sorted bits at
+their outputs.  Therefore, they are outside the focus of this paper."
+
+We build one anyway, to make that distinction executable:
+
+1. a carry-save (3:2 compressor) adder tree counts the 1's with ``O(n)``
+   gates and ``O(lg n)`` depth, finished by one small prefix adder;
+2. a ``(1, n+1)``-demultiplexer tree decodes the count to one-hot;
+3. an OR suffix scan turns the one-hot into the thermometer code, which
+   *is* the ascending sorted output (output ``j`` is 1 iff
+   ``count >= n - j``).
+
+The payload-carrying simulator shows the non-carrying property concretely:
+every output of this circuit reports ``NO_PAYLOAD`` because all values
+pass through logic gates — no input data ever reaches an output, which is
+precisely why the paper's concentrators cannot be built this way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuits.builder import CircuitBuilder
+from ..circuits.netlist import Netlist
+from ..components.prefix_adder import kogge_stone_add, suffix_or_scan
+
+
+def csa_popcount(b: CircuitBuilder, wires: Sequence[int]) -> List[int]:
+    """Population count via a Wallace tree of full-adder compressors.
+
+    Maintains per-weight columns of wires; every 3 wires of weight ``w``
+    compress into one of weight ``w`` and one of weight ``2w`` (5 gates),
+    every remaining pair into weights ``w``/``2w`` via a half adder
+    (2 gates).  Linear cost, logarithmic depth; the final two rows are
+    summed with a Kogge–Stone adder.
+    """
+    columns: List[List[int]] = [list(wires)]
+    while any(len(col) > 2 for col in columns):
+        new_cols: List[List[int]] = [[] for _ in range(len(columns) + 1)]
+        for w, col in enumerate(columns):
+            i = 0
+            while len(col) - i >= 3:
+                x, y, z = col[i : i + 3]
+                i += 3
+                p = b.xor(x, y)
+                s = b.xor(p, z)
+                c = b.or_(b.and_(x, y), b.and_(p, z))
+                new_cols[w].append(s)
+                new_cols[w + 1].append(c)
+            new_cols[w].extend(col[i:])
+        while new_cols and not new_cols[-1]:
+            new_cols.pop()
+        columns = new_cols
+    # at most two wires per column: split into two addends
+    xs: List[int] = []
+    ys: List[int] = []
+    for col in columns:
+        xs.append(col[0] if len(col) >= 1 else b.const(0))
+        ys.append(col[1] if len(col) >= 2 else b.const(0))
+    return kogge_stone_add(b, xs, ys)
+
+
+def build_muller_preparata_sorter(n: int) -> Netlist:
+    """O(n)-cost, O(lg n)-depth Boolean sorting circuit for ``n`` bits."""
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    b = CircuitBuilder(f"muller-preparata-{n}")
+    wires = b.add_inputs(n)
+    if n == 1:
+        return b.build([b.buf(wires[0])])
+    count = csa_popcount(b, wires)  # lg n + 1 bits, LSB first
+    width = n.bit_length()  # count in 0..n needs lg n + 1 bits
+    count = count[:width]
+    while len(count) < width:
+        count.append(b.const(0))
+    # one-hot decode of the count over 2^width slots; slots above n are
+    # always 0 (the count never exceeds n), so they fold away in the scan.
+    onehot = b.demux_tree(b.const(1), list(reversed(count)))
+    # suffix OR: thermo[i] = OR_{v >= i} onehot[v] = [count >= i]
+    thermo = suffix_or_scan(b, onehot[: n + 1])
+    outputs = [thermo[n - j] for j in range(n)]
+    return b.build(outputs)

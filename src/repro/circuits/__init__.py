@@ -1,0 +1,76 @@
+"""Switch/gate-level circuit substrate.
+
+This package provides everything needed to express the paper's networks
+as executable circuits with the exact cost/depth accounting of Section II:
+
+* :mod:`~repro.circuits.elements` — primitive elements and their
+  cost/depth metadata.
+* :mod:`~repro.circuits.netlist` — the circuit DAG with cost/depth/stats.
+* :mod:`~repro.circuits.builder` — imperative construction DSL.
+* :mod:`~repro.circuits.simulate` — vectorized bit-level and
+  payload-carrying interpreters.
+* :mod:`~repro.circuits.sequential` — Model B: timelines, pipeline
+  levelization, and a cycle-accurate pipelined executor.
+"""
+
+from .builder import CircuitBuilder
+from .elements import Element, ELEMENT_META
+from .equivalence import equivalent
+from .fsm import SequentialCircuit, build_time_multiplexed_stage
+from .fuzz import random_netlist
+from .lowering import gate_count, gate_depth, lower_to_gates
+from .opt import fold_constants, optimize, prune_dead
+from .paths import critical_path, level_histogram, path_kind_summary
+from .serialize import from_json, load, save, to_json
+from .netlist import CircuitStats, Netlist
+from .sequential import (
+    LevelizedNetlist,
+    PipelinedNetlist,
+    Timeline,
+    TimeSegment,
+    levelize,
+    run_pipelined,
+    run_time_multiplexed,
+)
+from .simulate import (
+    NO_PAYLOAD,
+    exhaustive_inputs,
+    simulate,
+    simulate_payload,
+)
+
+__all__ = [
+    "CircuitBuilder",
+    "CircuitStats",
+    "ELEMENT_META",
+    "Element",
+    "LevelizedNetlist",
+    "NO_PAYLOAD",
+    "Netlist",
+    "PipelinedNetlist",
+    "SequentialCircuit",
+    "TimeSegment",
+    "Timeline",
+    "build_time_multiplexed_stage",
+    "critical_path",
+    "equivalent",
+    "exhaustive_inputs",
+    "fold_constants",
+    "from_json",
+    "gate_count",
+    "gate_depth",
+    "level_histogram",
+    "levelize",
+    "load",
+    "lower_to_gates",
+    "optimize",
+    "path_kind_summary",
+    "prune_dead",
+    "random_netlist",
+    "run_pipelined",
+    "run_time_multiplexed",
+    "save",
+    "simulate",
+    "simulate_payload",
+    "to_json",
+]

@@ -1,0 +1,208 @@
+"""Imperative builder DSL for constructing netlists.
+
+The builder hands out integer wire ids and appends elements in
+construction order, which keeps the resulting
+:class:`~repro.circuits.netlist.Netlist` topologically sorted by
+construction.  All network constructions in this repository
+(swappers, mergers, the three adaptive sorters, Batcher baselines, ...)
+are written against this interface.
+
+Example
+-------
+>>> from repro.circuits import CircuitBuilder, simulate
+>>> b = CircuitBuilder("half-adder")
+>>> x, y = b.add_inputs(2)
+>>> s = b.xor(x, y)
+>>> c = b.and_(x, y)
+>>> net = b.build(outputs=[s, c])
+>>> simulate(net, [[1, 1]]).tolist()
+[[0, 1]]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import elements as el
+from .elements import Element
+from .netlist import Netlist
+
+
+class CircuitBuilder:
+    """Builds a :class:`Netlist` wire by wire, element by element."""
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self._n_wires = 0
+        self._elements: List[Element] = []
+        self._inputs: List[int] = []
+        self._constants: Dict[int, int] = {}
+        self._const_cache: Dict[int, int] = {}
+
+    # -- wires ---------------------------------------------------------------
+
+    def _new_wires(self, count: int) -> Tuple[int, ...]:
+        start = self._n_wires
+        self._n_wires += count
+        return tuple(range(start, start + count))
+
+    def add_input(self) -> int:
+        """Create one primary-input wire."""
+        (w,) = self._new_wires(1)
+        self._inputs.append(w)
+        return w
+
+    def add_inputs(self, count: int) -> List[int]:
+        """Create ``count`` primary-input wires."""
+        return [self.add_input() for _ in range(count)]
+
+    def const(self, value: int) -> int:
+        """Return a constant 0/1 wire (cached per builder)."""
+        if value not in (0, 1):
+            raise ValueError(f"constant must be 0 or 1, got {value!r}")
+        if value not in self._const_cache:
+            (w,) = self._new_wires(1)
+            self._constants[w] = value
+            self._const_cache[value] = w
+        return self._const_cache[value]
+
+    # -- element emission ------------------------------------------------------
+
+    def _emit(self, kind: str, ins: Sequence[int], n_out: int, params=None):
+        outs = self._new_wires(n_out)
+        elem = Element(kind, tuple(ins), outs, params)
+        elem.validate()
+        for w in elem.ins:
+            if not (0 <= w < self._n_wires):
+                raise ValueError(f"unknown wire {w}")
+        self._elements.append(elem)
+        return outs
+
+    # logic gates -------------------------------------------------------------
+
+    def not_(self, a: int) -> int:
+        return self._emit(el.NOT, [a], 1)[0]
+
+    def and_(self, a: int, b: int) -> int:
+        return self._emit(el.AND, [a, b], 1)[0]
+
+    def or_(self, a: int, b: int) -> int:
+        return self._emit(el.OR, [a, b], 1)[0]
+
+    def xor(self, a: int, b: int) -> int:
+        return self._emit(el.XOR, [a, b], 1)[0]
+
+    def nand(self, a: int, b: int) -> int:
+        return self._emit(el.NAND, [a, b], 1)[0]
+
+    def nor(self, a: int, b: int) -> int:
+        return self._emit(el.NOR, [a, b], 1)[0]
+
+    def xnor(self, a: int, b: int) -> int:
+        return self._emit(el.XNOR, [a, b], 1)[0]
+
+    def buf(self, a: int) -> int:
+        """Zero-cost alias of a wire (used to re-expose internal wires)."""
+        return self._emit(el.BUF, [a], 1)[0]
+
+    def and_tree(self, wires: Sequence[int]) -> int:
+        """Balanced AND over any number of wires."""
+        return self._tree(el.AND, wires)
+
+    def or_tree(self, wires: Sequence[int]) -> int:
+        """Balanced OR over any number of wires."""
+        return self._tree(el.OR, wires)
+
+    def _tree(self, kind: str, wires: Sequence[int]) -> int:
+        ws = list(wires)
+        if not ws:
+            raise ValueError("tree over zero wires")
+        while len(ws) > 1:
+            nxt = []
+            for i in range(0, len(ws) - 1, 2):
+                nxt.append(self._emit(kind, [ws[i], ws[i + 1]], 1)[0])
+            if len(ws) % 2:
+                nxt.append(ws[-1])
+            ws = nxt
+        return ws[0]
+
+    # switching elements --------------------------------------------------------
+
+    def comparator(self, a: int, b: int) -> Tuple[int, int]:
+        """1-bit ascending comparator; returns ``(min, max)`` wires."""
+        return self._emit(el.COMPARATOR, [a, b], 2)
+
+    def switch2(self, a: int, b: int, control: int) -> Tuple[int, int]:
+        """2x2 switch; control 0 = straight, 1 = crossed."""
+        return self._emit(el.SWITCH2, [a, b, control], 2)
+
+    def switch4(
+        self,
+        data: Sequence[int],
+        sel_hi: int,
+        sel_lo: int,
+        perms: Tuple[Tuple[int, int, int, int], ...],
+    ) -> Tuple[int, ...]:
+        """4x4 switch applying ``perms[2*sel_hi + sel_lo]``.
+
+        ``perms`` maps each output position to the input position it reads
+        (output-centric view), one permutation per 2-bit select value.
+        """
+        if len(data) != 4:
+            raise ValueError("switch4 requires exactly 4 data wires")
+        return self._emit(
+            el.SWITCH4, [*data, sel_hi, sel_lo], 4, params=tuple(map(tuple, perms))
+        )
+
+    def mux2(self, a: int, b: int, sel: int) -> int:
+        """(2,1)-multiplexer: returns ``b`` when ``sel`` is 1, else ``a``."""
+        return self._emit(el.MUX2, [a, b, sel], 1)[0]
+
+    def demux2(self, a: int, sel: int) -> Tuple[int, int]:
+        """(1,2)-demultiplexer: drives out[sel] with ``a``, other output 0."""
+        return self._emit(el.DEMUX2, [a, sel], 2)
+
+    def mux_tree(self, wires: Sequence[int], sel_bits: Sequence[int]) -> int:
+        """(m,1)-multiplexer as a balanced tree of (2,1)-multiplexers.
+
+        ``sel_bits`` is most-significant-first; ``len(wires)`` must be
+        ``2 ** len(sel_bits)``.  This is the paper's Fig. 3(a) building
+        block: cost m-1, depth lg m.
+        """
+        m = len(wires)
+        if m != 1 << len(sel_bits):
+            raise ValueError(f"mux_tree: {m} wires need lg(m) select bits")
+        ws = list(wires)
+        for sel in reversed(sel_bits):  # least-significant level first
+            ws = [self.mux2(ws[i], ws[i + 1], sel) for i in range(0, len(ws), 2)]
+        if len(ws) != 1:
+            raise AssertionError("mux tree did not reduce to one wire")
+        return ws[0]
+
+    def demux_tree(self, wire: int, sel_bits: Sequence[int]) -> List[int]:
+        """(1,m)-demultiplexer tree; returns the m output wires.
+
+        ``sel_bits`` is most-significant-first.  Cost m-1, depth lg m
+        (Fig. 3(b)).
+        """
+        ws = [wire]
+        for sel in sel_bits:  # most-significant level first
+            nxt: List[int] = []
+            for w in ws:
+                o0, o1 = self.demux2(w, sel)
+                nxt.extend((o0, o1))
+            ws = nxt
+        return ws
+
+    # -- finalization -------------------------------------------------------------
+
+    def build(self, outputs: Sequence[int]) -> Netlist:
+        """Freeze the builder into a validated :class:`Netlist`."""
+        return Netlist(
+            n_wires=self._n_wires,
+            elements=self._elements,
+            inputs=self._inputs,
+            outputs=outputs,
+            constants=self._constants,
+            name=self.name,
+        )

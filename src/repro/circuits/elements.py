@@ -1,0 +1,132 @@
+"""Primitive circuit elements and their accounting metadata.
+
+The paper (Section II) tallies network cost and depth in units of
+constant-fanin elements: each 2x2 switch, 1-bit comparator,
+(2,1)-multiplexer, and (1,2)-demultiplexer has unit cost and unit depth;
+a 4x4 switch is normalized to cost 4 (four 2x2 switches) with unit depth;
+the internals of adders and select logic are counted per constant-fanin
+logic gate.  Every element defined here carries exactly that accounting.
+
+Elements are deliberately lightweight records: a kind tag, input wire ids,
+output wire ids, and an optional parameter blob (e.g. the permutation
+table of a 4x4 switch).  Evaluation semantics live in
+:mod:`repro.circuits.simulate` so that batched (vectorized) and
+payload-carrying interpreters can share the same structural description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+# ---------------------------------------------------------------------------
+# Element kinds
+# ---------------------------------------------------------------------------
+
+#: One- and two-input constant-fanin logic gates (cost 1, depth 1 each).
+NOT = "NOT"
+AND = "AND"
+OR = "OR"
+XOR = "XOR"
+NAND = "NAND"
+NOR = "NOR"
+XNOR = "XNOR"
+#: Identity buffer.  Zero cost and zero depth: buffers only exist so that
+#: builders can alias wires without perturbing the paper's accounting.
+BUF = "BUF"
+
+#: 1-bit ascending comparator: out0 = min(a, b), out1 = max(a, b).
+COMPARATOR = "COMPARATOR"
+#: 2x2 crossbar switch: control 0 routes straight, 1 routes crossed.
+SWITCH2 = "SWITCH2"
+#: 4x4 switch applying one of up to four permutations chosen by 2 control
+#: bits; the permutation table is an instance parameter.
+SWITCH4 = "SWITCH4"
+#: (2,1)-multiplexer: out = b if sel else a.
+MUX2 = "MUX2"
+#: (1,2)-demultiplexer: routes the input to out[sel]; the other output is 0.
+DEMUX2 = "DEMUX2"
+
+GATE_KINDS = frozenset({NOT, AND, OR, XOR, NAND, NOR, XNOR, BUF})
+
+#: (cost, depth, n_inputs, n_outputs) per element kind.  ``None`` arity
+#: entries are validated per-instance.
+_META = {
+    NOT: (1, 1, 1, 1),
+    AND: (1, 1, 2, 1),
+    OR: (1, 1, 2, 1),
+    XOR: (1, 1, 2, 1),
+    NAND: (1, 1, 2, 1),
+    NOR: (1, 1, 2, 1),
+    XNOR: (1, 1, 2, 1),
+    BUF: (0, 0, 1, 1),
+    COMPARATOR: (1, 1, 2, 2),
+    SWITCH2: (1, 1, 3, 2),  # inputs: a, b, control
+    SWITCH4: (4, 1, 6, 4),  # inputs: a, b, c, d, sel_hi, sel_lo
+    MUX2: (1, 1, 3, 1),  # inputs: a, b, sel
+    DEMUX2: (1, 1, 2, 2),  # inputs: a, sel
+}
+
+
+@dataclass(frozen=True)
+class ElementMeta:
+    """Static accounting data for one element kind."""
+
+    cost: int
+    depth: int
+    n_inputs: int
+    n_outputs: int
+
+
+ELEMENT_META = {kind: ElementMeta(*vals) for kind, vals in _META.items()}
+
+
+@dataclass
+class Element:
+    """One instantiated element inside a netlist.
+
+    Attributes
+    ----------
+    kind:
+        One of the kind constants in this module.
+    ins:
+        Wire ids read by this element, in kind-specific order.
+    outs:
+        Wire ids driven by this element.
+    params:
+        Kind-specific parameters.  For :data:`SWITCH4` this is a tuple of
+        four output->input permutations indexed by the 2-bit select value.
+    """
+
+    __slots__ = ("kind", "ins", "outs", "params")
+
+    kind: str
+    ins: Tuple[int, ...]
+    outs: Tuple[int, ...]
+    params: Any
+
+    @property
+    def cost(self) -> int:
+        return ELEMENT_META[self.kind].cost
+
+    @property
+    def depth(self) -> int:
+        return ELEMENT_META[self.kind].depth
+
+    def validate(self) -> None:
+        meta = ELEMENT_META[self.kind]
+        if len(self.ins) != meta.n_inputs:
+            raise ValueError(
+                f"{self.kind} expects {meta.n_inputs} inputs, got {len(self.ins)}"
+            )
+        if len(self.outs) != meta.n_outputs:
+            raise ValueError(
+                f"{self.kind} expects {meta.n_outputs} outputs, got {len(self.outs)}"
+            )
+        if self.kind == SWITCH4:
+            perms = self.params
+            if not isinstance(perms, tuple) or len(perms) != 4:
+                raise ValueError("SWITCH4 requires a 4-entry permutation table")
+            for perm in perms:
+                if sorted(perm) != [0, 1, 2, 3]:
+                    raise ValueError(f"invalid 4x4 permutation {perm!r}")

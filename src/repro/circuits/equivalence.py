@@ -1,0 +1,45 @@
+"""Netlist equivalence checking.
+
+Used throughout the test-suite and by the optimizer/lowering users:
+two netlists with the same interface are *equivalent* if they produce
+identical outputs on every input.  For narrow interfaces the check is
+exhaustive (a proof, via the vectorized simulator); wider ones fall back
+to seeded random sampling plus structured corner cases.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .netlist import Netlist
+from .simulate import exhaustive_inputs, simulate
+
+
+def equivalent(
+    a: Netlist,
+    b: Netlist,
+    exhaustive_limit: int = 14,
+    trials: int = 512,
+    rng: Optional[np.random.Generator] = None,
+) -> bool:
+    """True iff ``a`` and ``b`` agree on the checked input space.
+
+    Exhaustive (hence a proof) when the input count is at most
+    ``exhaustive_limit``; otherwise random + corner cases (all-zeros,
+    all-ones, one-hot walks).
+    """
+    if len(a.inputs) != len(b.inputs) or len(a.outputs) != len(b.outputs):
+        return False
+    n = len(a.inputs)
+    if n <= exhaustive_limit:
+        batch = exhaustive_inputs(n)
+        return bool(np.array_equal(simulate(a, batch), simulate(b, batch)))
+    rng = rng or np.random.default_rng(0)
+    corner = [np.zeros(n, dtype=np.uint8), np.ones(n, dtype=np.uint8)]
+    eye = np.eye(n, dtype=np.uint8)
+    batch = np.vstack(
+        [corner, eye, 1 - eye, rng.integers(0, 2, (trials, n)).astype(np.uint8)]
+    )
+    return bool(np.array_equal(simulate(a, batch), simulate(b, batch)))

@@ -1,0 +1,155 @@
+"""Clocked circuits with feedback: the literal Model B machine.
+
+Section II: "The adaptive sorting networks under this model can be
+viewed as simple sequential or clocked circuits."
+:class:`SequentialCircuit` is that object — a combinational netlist
+whose first ``n_state`` inputs are fed from state registers, with a
+designated slice of outputs computing the next state.  Each
+:meth:`~SequentialCircuit.step` is one global clock tick.
+
+The pipelined executor (:mod:`repro.circuits.sequential`) covers
+feed-forward streaming; this class covers feedback (counters,
+accumulators, the time-multiplexed dispatch of the clean sorter in
+:mod:`repro.core.hw_clean_sorter`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .netlist import Netlist
+from .simulate import simulate
+
+
+class SequentialCircuit:
+    """A synchronous circuit: netlist + ``n_state`` feedback registers.
+
+    Netlist interface convention:
+
+    * inputs: ``[state_0 .. state_{R-1}, external inputs...]``
+    * outputs: ``[next_state_0 .. next_state_{R-1}, external outputs...]``
+
+    Cost accounting: combinational cost is the netlist's; the register
+    count (``n_state``) is reported separately, mirroring how the paper
+    counts Model B storage implicitly.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        n_state: int,
+        initial_state: Optional[Sequence[int]] = None,
+    ) -> None:
+        if n_state < 0 or n_state > len(netlist.inputs):
+            raise ValueError(f"invalid state width {n_state}")
+        if n_state > len(netlist.outputs):
+            raise ValueError("netlist must output a next-state slice")
+        self.netlist = netlist
+        self.n_state = n_state
+        self.n_external_in = len(netlist.inputs) - n_state
+        self.n_external_out = len(netlist.outputs) - n_state
+        if initial_state is None:
+            initial_state = [0] * n_state
+        if len(initial_state) != n_state:
+            raise ValueError("initial_state width mismatch")
+        self._initial = [int(v) for v in initial_state]
+        self.state: List[int] = list(self._initial)
+        self.cycles = 0
+
+    def reset(self) -> None:
+        self.state = list(self._initial)
+        self.cycles = 0
+
+    def step(self, external: Sequence[int]) -> List[int]:
+        """One clock tick; returns the external outputs."""
+        if len(external) != self.n_external_in:
+            raise ValueError(
+                f"expected {self.n_external_in} external inputs, got "
+                f"{len(external)}"
+            )
+        vec = list(self.state) + [int(v) for v in external]
+        out = simulate(self.netlist, [vec])[0]
+        self.state = [int(v) for v in out[: self.n_state]]
+        self.cycles += 1
+        return [int(v) for v in out[self.n_state :]]
+
+    def run(self, external: Sequence[int], cycles: int) -> List[int]:
+        """Apply constant external inputs for ``cycles`` ticks; returns
+        the final external outputs."""
+        last: List[int] = []
+        for _ in range(cycles):
+            last = self.step(external)
+        return last
+
+    # -- accounting ----------------------------------------------------------------
+
+    def combinational_cost(self) -> int:
+        return self.netlist.cost()
+
+    def register_bits(self) -> int:
+        return self.n_state
+
+    def cycle_time(self) -> int:
+        """Unit delays per clock tick = combinational depth."""
+        return self.netlist.depth()
+
+
+def build_time_multiplexed_stage(inner: Netlist, k: int) -> "SequentialCircuit":
+    """Generic Model B time-multiplexing: one small netlist serves k groups.
+
+    This is the structural idea of the fish sorter's phase 1 (and the
+    dispatch loops throughout Section III-C) packaged as a reusable
+    clocked circuit: ``k`` groups of ``g = len(inner.inputs)`` bits sit
+    on the external inputs; each tick, an ``(n, g)``-multiplexer selects
+    group ``t`` (the counter), the inner netlist transforms it, and a
+    ``(g, n)``-demultiplexer accumulates the result into staging
+    registers.  After ``k`` ticks the staging registers hold the
+    concatenated per-group outputs.
+
+    State: ``lg k`` counter bits + ``k * g`` staging bits.  External
+    outputs mirror the staging registers.
+    """
+    from ..components.demux import group_demultiplexer
+    from ..components.mux import group_multiplexer
+    from .builder import CircuitBuilder
+
+    g = len(inner.inputs)
+    if g != len(inner.outputs):
+        raise ValueError("inner netlist must have equal input/output width")
+    if k < 2 or k & (k - 1):
+        raise ValueError(f"k must be a power of two >= 2, got {k}")
+    lg_k = k.bit_length() - 1
+    n = k * g
+    b = CircuitBuilder(f"tm-stage-{n}x{k}")
+    counter = b.add_inputs(lg_k)
+    staging = b.add_inputs(n)
+    data = b.add_inputs(n)
+    counter_msb = list(reversed(counter))
+    grabbed = group_multiplexer(b, data, g, counter_msb)
+    # splice the inner netlist: rebuild it inside this builder
+    inner_out = _inline(b, inner, grabbed)
+    routed = group_demultiplexer(b, inner_out, k, counter_msb)
+    next_staging = [b.or_(staging[i], routed[i]) for i in range(n)]
+    carry = b.const(1)
+    next_counter = []
+    for bit in counter:
+        next_counter.append(b.xor(bit, carry))
+        carry = b.and_(bit, carry)
+    net = b.build(next_counter + next_staging + list(next_staging))
+    return SequentialCircuit(net, n_state=lg_k + n)
+
+
+def _inline(b, inner: Netlist, input_wires: Sequence[int]) -> List[int]:
+    """Copy ``inner``'s elements into builder ``b``, fed by ``input_wires``."""
+    from .elements import Element
+
+    wire_map = dict(zip(inner.inputs, input_wires))
+    for w, v in inner.constants.items():
+        wire_map[w] = b.const(v)
+    for e in inner.elements:
+        outs = b._emit(e.kind, [wire_map[w] for w in e.ins], len(e.outs), e.params)
+        for w, nw in zip(e.outs, outs):
+            wire_map[w] = nw
+    return [wire_map[w] for w in inner.outputs]

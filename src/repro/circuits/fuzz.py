@@ -1,0 +1,72 @@
+"""Random-netlist fuzzing utilities.
+
+Differential testing of the interpreters (vectorized vs register-machine
+vs lowered vs serialized round-trip) needs a supply of arbitrary valid
+netlists; :func:`random_netlist` generates them reproducibly.  Used by
+the test-suite's fuzz module and available to downstream users hardening
+their own passes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .builder import CircuitBuilder
+from .netlist import Netlist
+
+
+def random_netlist(
+    rng: np.random.Generator,
+    n_inputs: int = 6,
+    n_elements: int = 30,
+    n_outputs: int = 4,
+    allow_constants: bool = True,
+) -> Netlist:
+    """A random valid netlist mixing every element kind.
+
+    Wires are always drawn from those already defined, so the result is
+    topologically valid by construction; outputs are sampled from all
+    wires (possibly including pass-through inputs).
+    """
+    if n_inputs < 1 or n_elements < 0 or n_outputs < 1:
+        raise ValueError("need n_inputs >= 1, n_elements >= 0, n_outputs >= 1")
+    b = CircuitBuilder("fuzz")
+    wires = list(b.add_inputs(n_inputs))
+    if allow_constants:
+        wires.append(b.const(0))
+        wires.append(b.const(1))
+
+    def pick() -> int:
+        return wires[int(rng.integers(0, len(wires)))]
+
+    for _ in range(n_elements):
+        op = int(rng.integers(0, 10))
+        if op == 0:
+            wires.append(b.not_(pick()))
+        elif op == 1:
+            wires.append(b.and_(pick(), pick()))
+        elif op == 2:
+            wires.append(b.or_(pick(), pick()))
+        elif op == 3:
+            wires.append(b.xor(pick(), pick()))
+        elif op == 4:
+            wires.extend(b.comparator(pick(), pick()))
+        elif op == 5:
+            wires.extend(b.switch2(pick(), pick(), pick()))
+        elif op == 6:
+            wires.append(b.mux2(pick(), pick(), pick()))
+        elif op == 7:
+            wires.extend(b.demux2(pick(), pick()))
+        elif op == 8:
+            perms = tuple(
+                tuple(rng.permutation(4).tolist()) for _ in range(4)
+            )
+            wires.extend(
+                b.switch4([pick(), pick(), pick(), pick()], pick(), pick(), perms)
+            )
+        else:
+            wires.append(b.xnor(pick(), pick()))
+    outputs = [wires[int(rng.integers(0, len(wires)))] for _ in range(n_outputs)]
+    return b.build(outputs)

@@ -1,0 +1,110 @@
+"""Lowering netlists to raw constant-fanin gates.
+
+The paper's accounting counts switching elements (comparators, 2x2/4x4
+switches, multiplexers, demultiplexers) at unit cost.  For hardware
+realism — and to check the "constant fanin gates" phrasing of the
+abstract directly — this module rewrites any netlist into one that uses
+only {NOT, AND, OR, XOR} gates:
+
+=============  ==========================================  =====  =====
+element        gate realization                            gates  depth
+=============  ==========================================  =====  =====
+COMPARATOR     min = a AND b, max = a OR b                  2      1
+SWITCH2        per output: (x AND NOT c) OR (y AND c)       7      3
+MUX2           (a AND NOT s) OR (b AND s)                   4      3
+DEMUX2         out0 = a AND NOT s, out1 = a AND s           3      2
+SWITCH4        4 outputs x 4-way AND-OR select tree        ~28     4
+=============  ==========================================  =====  =====
+
+The lowered netlist is behaviorally identical (tests verify it on every
+construction) and its :meth:`~repro.circuits.netlist.Netlist.cost` is the
+*raw gate count*, the second figure DESIGN.md promises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import elements as el
+from .builder import CircuitBuilder
+from .netlist import Netlist
+
+
+def _lower_switch2(b: CircuitBuilder, a: int, c: int, ctrl: int):
+    not_ctrl = b.not_(ctrl)
+    o0 = b.or_(b.and_(a, not_ctrl), b.and_(c, ctrl))
+    o1 = b.or_(b.and_(c, not_ctrl), b.and_(a, ctrl))
+    return o0, o1
+
+
+def lower_to_gates(netlist: Netlist) -> Netlist:
+    """Rewrite ``netlist`` using only NOT/AND/OR/XOR gates."""
+    b = CircuitBuilder(f"{netlist.name}-gates")
+    wire_map: Dict[int, int] = {}
+    for w in netlist.inputs:
+        wire_map[w] = b.add_input()
+    for w, v in netlist.constants.items():
+        wire_map[w] = b.const(v)
+
+    for e in netlist.elements:
+        ins = [wire_map[w] for w in e.ins]
+        kind = e.kind
+        if kind == el.COMPARATOR:
+            outs = [b.and_(ins[0], ins[1]), b.or_(ins[0], ins[1])]
+        elif kind == el.SWITCH2:
+            outs = list(_lower_switch2(b, ins[0], ins[1], ins[2]))
+        elif kind == el.MUX2:
+            a, c, s = ins
+            outs = [b.or_(b.and_(a, b.not_(s)), b.and_(c, s))]
+        elif kind == el.DEMUX2:
+            a, s = ins
+            outs = [b.and_(a, b.not_(s)), b.and_(a, s)]
+        elif kind == el.SWITCH4:
+            data, s_hi, s_lo = ins[:4], ins[4], ins[5]
+            n_hi, n_lo = b.not_(s_hi), b.not_(s_lo)
+            sel_lines = [
+                b.and_(n_hi, n_lo),
+                b.and_(n_hi, s_lo),
+                b.and_(s_hi, n_lo),
+                b.and_(s_hi, s_lo),
+            ]
+            table = e.params
+            outs = []
+            for i in range(4):
+                terms = [
+                    b.and_(sel_lines[sel], data[table[sel][i]])
+                    for sel in range(4)
+                ]
+                outs.append(b.or_tree(terms))
+        elif kind == el.BUF:
+            outs = [ins[0]]
+        elif kind == el.NOT:
+            outs = [b.not_(ins[0])]
+        elif kind == el.AND:
+            outs = [b.and_(*ins)]
+        elif kind == el.OR:
+            outs = [b.or_(*ins)]
+        elif kind == el.XOR:
+            outs = [b.xor(*ins)]
+        elif kind == el.NAND:
+            outs = [b.not_(b.and_(*ins))]
+        elif kind == el.NOR:
+            outs = [b.not_(b.or_(*ins))]
+        elif kind == el.XNOR:
+            outs = [b.not_(b.xor(*ins))]
+        else:  # pragma: no cover - guarded by Element.validate
+            raise ValueError(f"unknown element kind {kind!r}")
+        for w, nw in zip(e.outs, outs):
+            wire_map[w] = nw
+
+    return b.build([wire_map[w] for w in netlist.outputs])
+
+
+def gate_count(netlist: Netlist) -> int:
+    """Raw constant-fanin gate count of a netlist (after lowering)."""
+    return lower_to_gates(netlist).cost()
+
+
+def gate_depth(netlist: Netlist) -> int:
+    """Gate-level depth of a netlist (after lowering)."""
+    return lower_to_gates(netlist).depth()

@@ -1,0 +1,159 @@
+"""Netlist container with the paper's cost/depth accounting.
+
+A :class:`Netlist` is a DAG of :class:`~repro.circuits.elements.Element`
+instances over integer wire ids.  Wires are produced either by a primary
+input, a constant, or exactly one element output, and elements only read
+wires created before them (the builder enforces this), so construction
+order is already a topological order.
+
+Cost is the sum of element costs; depth is the longest input-to-output
+path weighted by per-element depth — exactly the two figures of merit the
+paper uses throughout (Section I: "The cost of a sorting network is the
+number of constant fanin comparator switches that it contains, and its
+depth is the maximum number of such switches on a path from an input to
+an output").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .elements import Element, ELEMENT_META
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics of a netlist in the paper's accounting units."""
+
+    cost: int
+    depth: int
+    n_elements: int
+    n_wires: int
+    n_inputs: int
+    n_outputs: int
+    by_kind: Dict[str, int]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.by_kind.items()))
+        return (
+            f"cost={self.cost} depth={self.depth} elements={self.n_elements} "
+            f"({kinds})"
+        )
+
+
+class Netlist:
+    """An immutable-ish combinational circuit description.
+
+    Instances are normally produced by
+    :class:`repro.circuits.builder.CircuitBuilder`; the constructor is
+    public so that tests can assemble small circuits by hand.
+    """
+
+    def __init__(
+        self,
+        n_wires: int,
+        elements: Sequence[Element],
+        inputs: Sequence[int],
+        outputs: Sequence[int],
+        constants: Optional[Dict[int, int]] = None,
+        name: str = "netlist",
+    ) -> None:
+        self.n_wires = n_wires
+        self.elements: List[Element] = list(elements)
+        self.inputs: Tuple[int, ...] = tuple(inputs)
+        self.outputs: Tuple[int, ...] = tuple(outputs)
+        self.constants: Dict[int, int] = dict(constants or {})
+        self.name = name
+        self._depths: Optional[List[int]] = None
+        self.validate()
+
+    # -- structural validation ---------------------------------------------
+
+    def validate(self) -> None:
+        """Check single-driver, topological-order, and arity invariants."""
+        driven = [False] * self.n_wires
+        for w in self.inputs:
+            if driven[w]:
+                raise ValueError(f"wire {w} has multiple drivers")
+            driven[w] = True
+        for w, v in self.constants.items():
+            if v not in (0, 1):
+                raise ValueError(f"constant wire {w} has non-bit value {v!r}")
+            if driven[w]:
+                raise ValueError(f"wire {w} has multiple drivers")
+            driven[w] = True
+        for elem in self.elements:
+            elem.validate()
+            for w in elem.ins:
+                if not (0 <= w < self.n_wires):
+                    raise ValueError(f"input wire {w} out of range")
+                if not driven[w]:
+                    raise ValueError(
+                        f"element {elem.kind} reads undriven wire {w}; "
+                        "elements must be appended in topological order"
+                    )
+            for w in elem.outs:
+                if not (0 <= w < self.n_wires):
+                    raise ValueError(f"output wire {w} out of range")
+                if driven[w]:
+                    raise ValueError(f"wire {w} has multiple drivers")
+                driven[w] = True
+        for w in self.outputs:
+            if not driven[w]:
+                raise ValueError(f"primary output {w} is undriven")
+
+    # -- accounting ----------------------------------------------------------
+
+    def cost(self) -> int:
+        """Total cost in the paper's units (unit-cost switching elements)."""
+        return sum(e.cost for e in self.elements)
+
+    def wire_depths(self) -> List[int]:
+        """Depth of every wire (longest weighted path from any input)."""
+        if self._depths is None:
+            depths = [0] * self.n_wires
+            for elem in self.elements:
+                d = max((depths[w] for w in elem.ins), default=0) + elem.depth
+                for w in elem.outs:
+                    depths[w] = d
+            self._depths = depths
+        return self._depths
+
+    def depth(self) -> int:
+        """Depth to the primary outputs (the paper's network depth)."""
+        depths = self.wire_depths()
+        return max((depths[w] for w in self.outputs), default=0)
+
+    def max_depth(self) -> int:
+        """Depth of the deepest wire anywhere (>= :meth:`depth`)."""
+        depths = self.wire_depths()
+        return max(depths, default=0)
+
+    def stats(self) -> CircuitStats:
+        by_kind: Dict[str, int] = {}
+        for e in self.elements:
+            by_kind[e.kind] = by_kind.get(e.kind, 0) + 1
+        return CircuitStats(
+            cost=self.cost(),
+            depth=self.depth(),
+            n_elements=len(self.elements),
+            n_wires=self.n_wires,
+            n_inputs=len(self.inputs),
+            n_outputs=len(self.outputs),
+            by_kind=by_kind,
+        )
+
+    def cost_by_kind(self) -> Dict[str, int]:
+        """Cost contribution of each element kind."""
+        acc: Dict[str, int] = {}
+        for e in self.elements:
+            acc[e.kind] = acc.get(e.kind, 0) + e.cost
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        return (
+            f"Netlist({self.name!r}, inputs={len(self.inputs)}, "
+            f"outputs={len(self.outputs)}, cost={self.cost()}, "
+            f"depth={self.depth()})"
+        )

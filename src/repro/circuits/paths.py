@@ -1,0 +1,60 @@
+"""Structural path analysis of netlists.
+
+* :func:`critical_path` — one longest input-to-output path, as the list
+  of elements along it (the physical chain that sets the network's
+  depth; useful for seeing *where* the paper's depth terms come from).
+* :func:`level_histogram` — element count per pipeline level, the shape
+  a segmented Model B implementation would see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .elements import Element
+from .netlist import Netlist
+
+
+def critical_path(netlist: Netlist) -> List[Element]:
+    """Elements along one maximum-depth input-to-output path."""
+    depths = netlist.wire_depths()
+    producer: Dict[int, Element] = {}
+    for e in netlist.elements:
+        for w in e.outs:
+            producer[w] = e
+    if not netlist.outputs:
+        return []
+    end = max(netlist.outputs, key=lambda w: depths[w])
+    path: List[Element] = []
+    wire = end
+    while wire in producer:
+        e = producer[wire]
+        path.append(e)
+        if not e.ins:
+            break
+        wire = max(e.ins, key=lambda w: depths[w])
+        # stop when we reach depth 0 through zero-depth elements only
+        if depths[wire] == 0 and wire not in producer:
+            break
+    return list(reversed(path))
+
+
+def level_histogram(netlist: Netlist) -> Dict[int, int]:
+    """Number of elements computing at each unit-delay level (>= 1)."""
+    depths = netlist.wire_depths()
+    hist: Dict[int, int] = {}
+    for e in netlist.elements:
+        if e.depth == 0:
+            continue
+        lvl = max((depths[w] for w in e.outs), default=0)
+        hist[lvl] = hist.get(lvl, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def path_kind_summary(netlist: Netlist) -> Dict[str, int]:
+    """Element kinds along the critical path (e.g. how much of Network
+    1's depth is adders vs switches)."""
+    summary: Dict[str, int] = {}
+    for e in critical_path(netlist):
+        summary[e.kind] = summary.get(e.kind, 0) + 1
+    return summary

@@ -1,0 +1,338 @@
+"""Clocked-circuit machinery for the paper's Network Model B.
+
+Model B (Section II) assumes "a global clock that times our steps for
+moving various groups of inputs through (n,k)-multiplexer and
+(k,m)-demultiplexer blocks" and that "inputs can be pipelined".  This
+module supplies:
+
+* :class:`Timeline` — a cycle counter that records labelled segments of
+  delay, in the paper's unit (one constant-fanin element = one unit of
+  bit-level delay).  Sorting-time claims (eqs. 22-26) are checked against
+  timelines accumulated during actual sorts.
+* :func:`levelize` — assigns every wire of a combinational netlist to a
+  pipeline level (its depth) and counts the balancing registers a real
+  pipelined implementation would need.
+* :class:`PipelinedNetlist` — a cycle-accurate register-transfer
+  simulation of a combinational netlist cut into unit-delay segments.
+  One input vector enters per clock; the matching output emerges
+  ``depth`` cycles later.  This realizes the paper's "lg^2(n/k) segment
+  pipeline, where each segment is a constant fanin, unit delay circuit".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import elements as el
+from .netlist import Netlist
+from .simulate import simulate
+
+
+@dataclass(frozen=True)
+class TimeSegment:
+    """One labelled span of clock cycles on a :class:`Timeline`."""
+
+    label: str
+    start: int
+    duration: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+class Timeline:
+    """Accumulates bit-level delay in labelled segments.
+
+    Sequential phases call :meth:`advance`; phases that overlap earlier
+    work (pipelining) call :meth:`advance_to` with an absolute finish
+    time.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self.segments: List[TimeSegment] = []
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def advance(self, duration: int, label: str) -> int:
+        """Append ``duration`` cycles of work; returns the new time."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.segments.append(TimeSegment(label, self._now, duration))
+        self._now += duration
+        return self._now
+
+    def advance_to(self, finish: int, label: str) -> int:
+        """Move the clock to ``finish`` (no-op if already past it)."""
+        if finish > self._now:
+            self.segments.append(TimeSegment(label, self._now, finish - self._now))
+            self._now = finish
+        return self._now
+
+    def breakdown(self) -> Dict[str, int]:
+        """Total cycles per label."""
+        acc: Dict[str, int] = {}
+        for seg in self.segments:
+            acc[seg.label] = acc.get(seg.label, 0) + seg.duration
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        return f"Timeline(now={self._now}, segments={len(self.segments)})"
+
+
+@dataclass(frozen=True)
+class LevelizedNetlist:
+    """Pipeline levelization of a combinational netlist."""
+
+    n_levels: int
+    #: wire id -> pipeline level at which the wire's value is produced.
+    wire_levels: Tuple[int, ...]
+    #: element index -> level at which the element computes (1-based; BUF
+    #: elements compute "within" the level of their input).
+    element_levels: Tuple[int, ...]
+    #: Total balancing-register bits a physical pipeline would add so that
+    #: every input-to-output path crosses the same number of boundaries.
+    balance_registers: int
+
+
+def levelize(netlist: Netlist) -> LevelizedNetlist:
+    """Assign wires and elements to unit-delay pipeline levels."""
+    wire_levels = list(netlist.wire_depths())
+    element_levels: List[int] = []
+    for e in netlist.elements:
+        out_level = max((wire_levels[w] for w in e.outs), default=0)
+        element_levels.append(out_level)
+    n_levels = max(
+        (wire_levels[w] for w in netlist.outputs), default=0
+    )
+    # A wire produced at level p and consumed by an element at level L
+    # must be registered across boundaries p .. L-1: that's L - 1 - p + 1
+    # = L - p extra register stages beyond the producing one (depth-1
+    # elements already imply a register at their own boundary).
+    last_use = [None] * netlist.n_wires
+    for e, lvl in zip(netlist.elements, element_levels):
+        for w in e.ins:
+            if last_use[w] is None or lvl > last_use[w]:
+                last_use[w] = lvl
+    for w in netlist.outputs:
+        if last_use[w] is None or n_levels > last_use[w]:
+            last_use[w] = n_levels
+    balance = 0
+    for w in range(netlist.n_wires):
+        if last_use[w] is not None:
+            span = last_use[w] - wire_levels[w] - 1
+            if span > 0:
+                balance += span
+    return LevelizedNetlist(
+        n_levels=n_levels,
+        wire_levels=tuple(wire_levels),
+        element_levels=tuple(element_levels),
+        balance_registers=balance,
+    )
+
+
+class PipelinedNetlist:
+    """Cycle-accurate streaming execution of a combinational netlist.
+
+    Call :meth:`step` once per clock cycle with a new input vector (or
+    ``None`` to insert a bubble); it returns the output vector whose
+    input entered ``latency`` cycles earlier, or ``None`` while the
+    pipeline is still filling (or for a bubble slot).
+
+    The implementation keeps genuine per-boundary register state rather
+    than exploiting the algebraic identity ``out[t] = f(in[t - D])``, so
+    tests can confirm the pipeline behaves like hardware would.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.level = levelize(netlist)
+        self.latency = self.level.n_levels
+        # Elements grouped by computing level, preserving topological order.
+        self._by_level: Dict[int, List[int]] = {}
+        for idx, lvl in enumerate(self.level.element_levels):
+            if lvl > self.latency:
+                continue  # dead logic deeper than every primary output
+            self._by_level.setdefault(lvl, []).append(idx)
+        # Which wires must be stored at each boundary 0..latency:
+        # produced at level <= L and consumed at a level > L (or an output).
+        last_use: List[Optional[int]] = [None] * netlist.n_wires
+        for e, lvl in zip(netlist.elements, self.level.element_levels):
+            for w in e.ins:
+                if last_use[w] is None or lvl > last_use[w]:
+                    last_use[w] = lvl
+        for w in netlist.outputs:
+            if last_use[w] is None or self.latency > last_use[w]:
+                last_use[w] = self.latency
+        self._alive_at: List[List[int]] = [[] for _ in range(self.latency + 1)]
+        for w in range(netlist.n_wires):
+            if last_use[w] is None:
+                continue
+            for L in range(self.level.wire_levels[w], last_use[w] + 1):
+                if L <= self.latency:
+                    self._alive_at[L].append(w)
+        # Register state: state[L][w] = value at boundary L, or None.
+        self._state: List[Dict[int, Optional[int]]] = [
+            {w: None for w in alive} for alive in self._alive_at
+        ]
+        self._valid: List[bool] = [False] * (self.latency + 1)
+
+    def reset(self) -> None:
+        for st in self._state:
+            for w in st:
+                st[w] = None
+        self._valid = [False] * (self.latency + 1)
+
+    def step(self, inputs: Optional[Sequence[int]]) -> Optional[List[int]]:
+        """Advance one clock cycle; see class docstring."""
+        net = self.netlist
+        if inputs is None:
+            new0: Dict[int, Optional[int]] = {w: None for w in self._alive_at[0]}
+            valid0 = False
+        else:
+            if len(inputs) != len(net.inputs):
+                raise ValueError(
+                    f"expected {len(net.inputs)} inputs, got {len(inputs)}"
+                )
+            values: Dict[int, int] = dict(zip(net.inputs, map(int, inputs)))
+            values.update(net.constants)
+            # Depth-0 elements (buffers of inputs/constants) compute
+            # combinationally before the first register boundary.
+            for idx in self._by_level.get(0, ()):
+                e = net.elements[idx]
+                outs = _eval_element(e, [values[w] for w in e.ins])
+                for w, v in zip(e.outs, outs):
+                    values[w] = v
+            new0 = {w: values.get(w) for w in self._alive_at[0]}
+            valid0 = True
+
+        new_state: List[Dict[int, Optional[int]]] = [new0]
+        new_valid = [valid0]
+        for L in range(1, self.latency + 1):
+            prev = self._state[L - 1]  # previous-cycle boundary values
+            prev_valid = self._valid[L - 1]
+            scratch: Dict[int, Optional[int]] = dict(prev)
+            scratch.update(self.netlist.constants)
+            if prev_valid:
+                for idx in self._by_level.get(L, ()):  # topological within level
+                    e = net.elements[idx]
+                    ins = [scratch[w] for w in e.ins]
+                    outs = _eval_element(e, ins)
+                    for w, v in zip(e.outs, outs):
+                        scratch[w] = v
+            new_state.append({w: scratch.get(w) for w in self._alive_at[L]})
+            new_valid.append(prev_valid)
+        self._state = new_state
+        self._valid = new_valid
+        if not self._valid[self.latency]:
+            return None
+        return [self._state[self.latency][w] for w in net.outputs]
+
+    def run(self, batches: Sequence[Sequence[int]]) -> Tuple[List[List[int]], int]:
+        """Stream ``batches`` through the pipeline back-to-back.
+
+        Returns ``(outputs, makespan)`` where ``makespan`` is the clock
+        time of the last output with the first input injected at time 0:
+        ``len(batches) - 1 + latency``, the paper's pipelined accounting.
+        """
+        self.reset()
+        outs: List[List[int]] = []
+        steps = 0
+        for vec in batches:
+            res = self.step(vec)
+            steps += 1
+            if res is not None:
+                outs.append(res)
+        while len(outs) < len(batches):
+            res = self.step(None)
+            steps += 1
+            if res is not None:
+                outs.append(res)
+        return outs, steps - 1
+
+
+def _eval_element(e, ins: List[Optional[int]]) -> List[int]:
+    """Scalar element evaluation used by the register-transfer simulator."""
+    kind = e.kind
+    if any(v is None for v in ins):
+        raise ValueError(f"element {kind} read an invalid register value")
+    if kind == el.COMPARATOR:
+        a, b = ins
+        return [a & b, a | b]
+    if kind == el.SWITCH2:
+        a, b, c = ins
+        return [b, a] if c else [a, b]
+    if kind == el.MUX2:
+        a, b, s = ins
+        return [b if s else a]
+    if kind == el.DEMUX2:
+        a, s = ins
+        return [0, a] if s else [a, 0]
+    if kind == el.SWITCH4:
+        data, sel = ins[:4], (ins[4] << 1) | ins[5]
+        perm = e.params[sel]
+        return [data[perm[i]] for i in range(4)]
+    if kind == el.NOT:
+        return [ins[0] ^ 1]
+    if kind == el.AND:
+        return [ins[0] & ins[1]]
+    if kind == el.OR:
+        return [ins[0] | ins[1]]
+    if kind == el.XOR:
+        return [ins[0] ^ ins[1]]
+    if kind == el.NAND:
+        return [(ins[0] & ins[1]) ^ 1]
+    if kind == el.NOR:
+        return [(ins[0] | ins[1]) ^ 1]
+    if kind == el.XNOR:
+        return [(ins[0] ^ ins[1]) ^ 1]
+    if kind == el.BUF:
+        return [ins[0]]
+    raise ValueError(f"unknown element kind {kind!r}")  # pragma: no cover
+
+
+def run_time_multiplexed(
+    netlist: Netlist,
+    groups: Sequence[Sequence[int]],
+    timeline: Optional[Timeline] = None,
+    label: str = "multiplexed-pass",
+) -> List[np.ndarray]:
+    """Run ``groups`` through ``netlist`` one after another (no pipelining).
+
+    Each pass charges the full combinational depth to the timeline — this
+    is the unpipelined Model B operation of eq. (22).
+    """
+    depth = netlist.depth()
+    outs: List[np.ndarray] = []
+    for i, vec in enumerate(groups):
+        outs.append(simulate(netlist, [list(vec)])[0])
+        if timeline is not None:
+            timeline.advance(depth, f"{label}[{i}]")
+    return outs
+
+
+def run_pipelined(
+    netlist: Netlist,
+    groups: Sequence[Sequence[int]],
+    timeline: Optional[Timeline] = None,
+    label: str = "pipelined-pass",
+) -> List[np.ndarray]:
+    """Run ``groups`` through ``netlist`` pipelined, one per cycle.
+
+    Charges ``len(groups) - 1 + depth`` cycles, the makespan of a
+    unit-delay segmented pipeline (eq. 25's accounting).  Functional
+    results are computed with the vectorized simulator; equivalence with
+    the register-transfer :class:`PipelinedNetlist` is covered by tests.
+    """
+    if timeline is not None and groups:
+        timeline.advance(len(groups) - 1 + netlist.depth(), label)
+    if not groups:
+        return []
+    res = simulate(netlist, [list(g) for g in groups])
+    return [res[i] for i in range(res.shape[0])]

@@ -1,0 +1,77 @@
+"""Netlist (de)serialization.
+
+Large netlists (the n = 4096 sorters run to hundreds of thousands of
+elements) take seconds to construct; ``to_json``/``from_json`` let users
+cache them on disk.  The format is a plain JSON object — stable, diffable,
+and independent of Python pickling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from .elements import Element
+from .netlist import Netlist
+
+FORMAT_VERSION = 1
+
+
+def to_json(netlist: Netlist) -> str:
+    """Serialize a netlist to a JSON string."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "name": netlist.name,
+        "n_wires": netlist.n_wires,
+        "inputs": list(netlist.inputs),
+        "outputs": list(netlist.outputs),
+        "constants": {str(w): v for w, v in netlist.constants.items()},
+        "elements": [
+            {
+                "kind": e.kind,
+                "ins": list(e.ins),
+                "outs": list(e.outs),
+                **({"params": [list(p) for p in e.params]} if e.params else {}),
+            }
+            for e in netlist.elements
+        ],
+    }
+    return json.dumps(payload)
+
+
+def from_json(text: Union[str, bytes]) -> Netlist:
+    """Reconstruct a netlist from :func:`to_json` output (re-validated)."""
+    payload = json.loads(text)
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported netlist format {payload.get('format')!r}"
+        )
+    elements = [
+        Element(
+            e["kind"],
+            tuple(e["ins"]),
+            tuple(e["outs"]),
+            tuple(tuple(p) for p in e["params"]) if "params" in e else None,
+        )
+        for e in payload["elements"]
+    ]
+    return Netlist(
+        n_wires=payload["n_wires"],
+        elements=elements,
+        inputs=payload["inputs"],
+        outputs=payload["outputs"],
+        constants={int(w): v for w, v in payload["constants"].items()},
+        name=payload.get("name", "netlist"),
+    )
+
+
+def save(netlist: Netlist, path) -> None:
+    """Write a netlist to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        fh.write(to_json(netlist))
+
+
+def load(path) -> Netlist:
+    """Read a netlist previously written by :func:`save`."""
+    with open(path) as fh:
+        return from_json(fh.read())

@@ -1,0 +1,50 @@
+"""Reusable network components (paper Section II building blocks)."""
+
+from .comparator import adjacent_comparator_stage, half_distance_comparator_stage
+from .demux import group_demultiplexer
+from .mux import group_multiplexer
+from .prefix_adder import (
+    add_counts,
+    half_adder_count,
+    kogge_stone_add,
+    popcount,
+    ripple_add,
+)
+from .shuffle import (
+    apply_indices,
+    k_way_shuffle,
+    k_way_shuffle_indices,
+    k_way_unshuffle,
+    k_way_unshuffle_indices,
+    two_way_shuffle,
+    two_way_unshuffle,
+)
+from .swappers import (
+    four_way_swapper,
+    k_swap,
+    quarter_perm_from_cycles,
+    two_way_swapper,
+)
+
+__all__ = [
+    "add_counts",
+    "adjacent_comparator_stage",
+    "apply_indices",
+    "four_way_swapper",
+    "group_demultiplexer",
+    "group_multiplexer",
+    "half_adder_count",
+    "half_distance_comparator_stage",
+    "k_swap",
+    "k_way_shuffle",
+    "k_way_shuffle_indices",
+    "k_way_unshuffle",
+    "k_way_unshuffle_indices",
+    "kogge_stone_add",
+    "popcount",
+    "quarter_perm_from_cycles",
+    "ripple_add",
+    "two_way_shuffle",
+    "two_way_swapper",
+    "two_way_unshuffle",
+]

@@ -1,0 +1,49 @@
+"""Comparator-stage helpers shared by sorter constructions.
+
+A comparator stage applies 1-bit ascending comparators to disjoint wire
+pairs.  The two pairings that recur throughout the paper:
+
+* adjacent pairing ``(0,1), (2,3), ...`` — the first stage of Fig. 4(b),
+  producing ``n/2`` sorted two-element subsequences;
+* half-distance pairing ``(i, i + n/2)`` — the first stage of a balanced
+  merging block after the shuffle has been undone (equivalently, adjacent
+  pairs after a two-way shuffle).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuits.builder import CircuitBuilder
+from .shuffle import two_way_shuffle, two_way_unshuffle
+
+
+def adjacent_comparator_stage(
+    b: CircuitBuilder, wires: Sequence[int]
+) -> List[int]:
+    """Comparators on pairs ``(2i, 2i+1)``; min stays on the even index."""
+    n = len(wires)
+    if n % 2:
+        raise ValueError(f"comparator stage needs an even input count, got {n}")
+    out: List[int] = []
+    for i in range(0, n, 2):
+        lo, hi = b.comparator(wires[i], wires[i + 1])
+        out.extend((lo, hi))
+    return out
+
+
+def half_distance_comparator_stage(
+    b: CircuitBuilder, wires: Sequence[int]
+) -> List[int]:
+    """Comparators on pairs ``(i, i + n/2)``; min stays in the upper half.
+
+    This is the stage a balanced merging block applies to a shuffled
+    concatenation of two sorted halves (Theorem 2's "first stage of n/2
+    comparators").
+    """
+    n = len(wires)
+    if n % 2:
+        raise ValueError(f"comparator stage needs an even input count, got {n}")
+    shuffled = two_way_shuffle(list(wires))
+    staged = adjacent_comparator_stage(b, shuffled)
+    return two_way_unshuffle(staged)

@@ -1,0 +1,46 @@
+"""(k,n)-demultiplexers (paper Section II-D, Fig. 3(b)).
+
+A (k,n)-demultiplexer connects its ``k`` inputs to one of ``n/k`` groups
+of outputs according to ``lg(n/k)`` select bits; all other outputs are 0.
+It is formed by coupling ``k`` (1,n/k)-demultiplexer trees, so its cost
+is ``k * (n/k - 1) = n - k`` (the paper rounds to ``n``) and its depth is
+``lg(n/k)``.
+
+Output indexing mirrors :mod:`repro.components.mux`: output ``o`` belongs
+to group ``o // k`` at position ``o % k``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..circuits.builder import CircuitBuilder
+
+
+def group_demultiplexer(
+    b: CircuitBuilder, wires: Sequence[int], groups: int, sel_bits: Sequence[int]
+) -> List[int]:
+    """Build a (k,n)-demultiplexer; returns its ``k * groups`` output wires.
+
+    ``wires`` are the ``k`` inputs; ``sel_bits`` (most-significant first)
+    picks the destination group.  Output ``g*k + j`` carries input ``j``
+    when the select value is ``g`` and 0 otherwise.
+    """
+    k = len(wires)
+    if groups <= 0 or 1 << len(sel_bits) != groups:
+        raise ValueError(
+            f"(k,n)-demultiplexer with {groups} groups needs lg({groups}) "
+            f"select bits, got {len(sel_bits)}"
+        )
+    # per-input demux trees: tree[j][g] = input j's copy for group g
+    trees: List[List[int]] = []
+    for j in range(k):
+        if groups == 1:
+            trees.append([wires[j]])
+        else:
+            trees.append(b.demux_tree(wires[j], sel_bits))
+    outs: List[int] = []
+    for g in range(groups):
+        for j in range(k):
+            outs.append(trees[j][g])
+    return outs

@@ -1,0 +1,46 @@
+"""(n,k)-multiplexers (paper Section II-C, Fig. 3(a)).
+
+An (n,k)-multiplexer selects one of ``n/k`` groups of ``k`` inputs and
+connects it to its ``k`` outputs, according to ``lg(n/k)`` select bits.
+It is formed by coupling ``k`` (n/k,1)-multiplexer trees, one per output
+position, so its cost is ``k * (n/k - 1) = n - k`` (the paper rounds this
+to ``n``) and its depth is ``lg(n/k)``.
+
+Input indexing follows Fig. 3(a): input ``i`` belongs to group
+``i // k`` (the group id is the leftmost ``lg(n/k)`` bits of the input's
+binary code) and occupies position ``i % k`` within the group.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..circuits.builder import CircuitBuilder
+
+
+def group_multiplexer(
+    b: CircuitBuilder, wires: Sequence[int], k: int, sel_bits: Sequence[int]
+) -> List[int]:
+    """Build an (n,k)-multiplexer; returns its ``k`` output wires.
+
+    ``sel_bits`` is the group select, most-significant bit first; group
+    ``g`` (inputs ``g*k .. g*k+k-1``) is routed to the outputs when the
+    select value is ``g``.
+    """
+    n = len(wires)
+    if k <= 0 or n % k:
+        raise ValueError(f"(n,k)-multiplexer needs k | n, got n={n} k={k}")
+    groups = n // k
+    if 1 << len(sel_bits) != groups:
+        raise ValueError(
+            f"(n,k)-multiplexer with {groups} groups needs lg({groups}) "
+            f"select bits, got {len(sel_bits)}"
+        )
+    outs: List[int] = []
+    for j in range(k):
+        candidates = [wires[g * k + j] for g in range(groups)]
+        if groups == 1:
+            outs.append(candidates[0])
+        else:
+            outs.append(b.mux_tree(candidates, sel_bits))
+    return outs

@@ -1,0 +1,242 @@
+"""Gate-level adders and population counters.
+
+The prefix binary sorter (Network 1) steers its patch-up network with a
+"simple lg n-bit prefix adder that gives the count of the number of 1's
+in the entire input sequence ... by recursively adding the numbers of 1's
+in the two half-size input sequences" (Section III-A).  The paper charges
+``3 lg n`` cost and ``2 lg lg n`` depth per adder, citing carry-lookahead
+constructions.
+
+This module provides the pieces at gate level so measured costs are real:
+
+* :func:`half_adder_count` — counts the 1's among two bits (cost 2).
+* :func:`kogge_stone_add` — parallel-prefix (carry-lookahead) adder with
+  ``O(lg m)`` depth, the "prefix adder" proper.
+* :func:`ripple_add` — the ``O(m)``-depth ablation baseline.
+* :func:`popcount` — a full adder-tree population counter used by
+  ablations and the Muller–Preparata baseline.
+
+All multi-bit numbers are wire lists, least-significant bit first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuits.builder import CircuitBuilder
+
+
+def half_adder_count(b: CircuitBuilder, x: int, y: int) -> List[int]:
+    """2-bit count of the ones among two input bits (LSB first)."""
+    return [b.xor(x, y), b.and_(x, y)]
+
+
+def _full_add_bit(
+    b: CircuitBuilder, x: int, y: int, c: int
+) -> Tuple[int, int]:
+    """One full-adder cell; returns ``(sum, carry_out)`` (5 gates)."""
+    p = b.xor(x, y)
+    s = b.xor(p, c)
+    carry = b.or_(b.and_(x, y), b.and_(p, c))
+    return s, carry
+
+
+def ripple_add(
+    b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]
+) -> List[int]:
+    """Ripple-carry addition of two equal-width numbers (LSB first).
+
+    Returns ``len(xs) + 1`` sum bits.  Cost ``O(m)``, depth ``O(m)`` —
+    used only as an ablation against the prefix adder.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("ripple_add requires equal widths")
+    out: List[int] = []
+    carry = None
+    for x, y in zip(xs, ys):
+        if carry is None:
+            out.append(b.xor(x, y))
+            carry = b.and_(x, y)
+        else:
+            s, carry = _full_add_bit(b, x, y, carry)
+            out.append(s)
+    out.append(carry if carry is not None else b.const(0))
+    return out
+
+
+def kogge_stone_add(
+    b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]
+) -> List[int]:
+    """Parallel-prefix (Kogge–Stone) addition of two equal-width numbers.
+
+    Returns ``m + 1`` sum bits (LSB first).  Depth ``O(lg m)``, cost
+    ``O(m lg m)`` gates — this is the "prefix adder" of Section III-A.
+    """
+    m = len(xs)
+    if m != len(ys):
+        raise ValueError("kogge_stone_add requires equal widths")
+    if m == 0:
+        return [b.const(0)]
+    if m == 1:
+        return half_adder_count(b, xs[0], ys[0])
+    propagate = [b.xor(x, y) for x, y in zip(xs, ys)]
+    generate = [b.and_(x, y) for x, y in zip(xs, ys)]
+    # (G, P) prefix scan with span doubling: after the scan, G[i] is the
+    # carry out of bit positions 0..i.
+    G = list(generate)
+    P = list(propagate)
+    d = 1
+    while d < m:
+        newG = list(G)
+        newP = list(P)
+        for i in range(d, m):
+            newG[i] = b.or_(G[i], b.and_(P[i], G[i - d]))
+            newP[i] = b.and_(P[i], P[i - d])
+        G, P = newG, newP
+        d <<= 1
+    sums = [propagate[0]]
+    for i in range(1, m):
+        sums.append(b.xor(propagate[i], G[i - 1]))
+    sums.append(G[m - 1])
+    return sums
+
+
+def add_counts(
+    b: CircuitBuilder,
+    xs: Sequence[int],
+    ys: Sequence[int],
+    adder: str = "prefix",
+) -> List[int]:
+    """Add two counts of possibly different widths (LSB first)."""
+    xs, ys = list(xs), list(ys)
+    width = max(len(xs), len(ys))
+    while len(xs) < width:
+        xs.append(b.const(0))
+    while len(ys) < width:
+        ys.append(b.const(0))
+    if adder == "prefix":
+        return kogge_stone_add(b, xs, ys)
+    if adder == "ripple":
+        return ripple_add(b, xs, ys)
+    raise ValueError(f"unknown adder {adder!r}")
+
+
+def prefix_sum_scan(
+    b: CircuitBuilder, bits: Sequence[int], adder: str = "prefix"
+) -> List[List[int]]:
+    """Inclusive prefix popcount: out[i] = number of 1's in bits[0..i].
+
+    Ladner–Fischer over :func:`add_counts`: pair adjacent items, scan the
+    pair sums recursively, then fix up even positions — ``O(n)`` adder
+    nodes of width ``<= lg n``, total ``O(n lg n)`` gates with ``O(lg n)``
+    adder levels.  Each output is a bit vector (LSB first); widths grow
+    toward ``lg n + 1``.  This is the rank machinery behind the stable
+    binary splitter (:mod:`repro.networks.word_sorter`).
+    """
+    m = len(bits)
+    if m == 0:
+        return []
+    if m == 1:
+        return [[bits[0]]]
+    max_width = m.bit_length()  # counts never exceed m
+    pairs = [
+        half_adder_count(b, bits[i], bits[i + 1]) for i in range(0, m - 1, 2)
+    ]
+    sub = _scan_counts(b, pairs, adder, max_width)
+    out: List[List[int]] = []
+    for i in range(m):
+        if i % 2 == 1:
+            out.append(sub[i // 2])
+        elif i == 0:
+            out.append([bits[0]])
+        else:
+            s = add_counts(b, sub[i // 2 - 1], [bits[i]], adder=adder)
+            out.append(s[:max_width])
+    return out
+
+
+def _scan_counts(
+    b: CircuitBuilder, items: List[List[int]], adder: str, max_width: int
+) -> List[List[int]]:
+    """Inclusive scan over multi-bit counts with :func:`add_counts`.
+
+    Sums are truncated to ``max_width`` bits — safe because the true
+    counts fit, and essential to keep the scan at ``O(n)`` adder bits
+    per level instead of letting carry bits accrete one per level.
+    """
+    m = len(items)
+    if m == 1:
+        return [items[0]]
+    pairs = [
+        add_counts(b, items[i], items[i + 1], adder=adder)[:max_width]
+        for i in range(0, m - 1, 2)
+    ]
+    sub = _scan_counts(b, pairs, adder, max_width)
+    out: List[List[int]] = []
+    for i in range(m):
+        if i % 2 == 1:
+            out.append(sub[i // 2])
+        elif i == 0:
+            out.append(items[0])
+        else:
+            s = add_counts(b, sub[i // 2 - 1], items[i], adder=adder)
+            out.append(s[:max_width])
+    return out
+
+
+def prefix_or_scan(b: CircuitBuilder, bits: Sequence[int]) -> List[int]:
+    """Inclusive prefix OR: ``out[i] = OR(bits[0..i])``.
+
+    Ladner–Fischer-style recursive scan: cost ``< 2m`` gates, depth
+    ``<= 2 lg m`` — the linear-cost building block behind thermometer
+    decoding in the Muller–Preparata baseline.
+    """
+    m = len(bits)
+    if m == 0:
+        return []
+    if m == 1:
+        return [bits[0]]
+    pairs = [b.or_(bits[i], bits[i + 1]) for i in range(0, m - 1, 2)]
+    sub = prefix_or_scan(b, pairs)
+    out: List[int] = []
+    for i in range(m):
+        if i % 2 == 1:
+            out.append(sub[i // 2])
+        elif i == 0:
+            out.append(bits[0])
+        else:
+            out.append(b.or_(sub[i // 2 - 1], bits[i]))
+    return out
+
+
+def suffix_or_scan(b: CircuitBuilder, bits: Sequence[int]) -> List[int]:
+    """Inclusive suffix OR: ``out[i] = OR(bits[i..])``."""
+    return list(reversed(prefix_or_scan(b, list(reversed(bits)))))
+
+
+def popcount(
+    b: CircuitBuilder, wires: Sequence[int], adder: str = "prefix"
+) -> List[int]:
+    """Count the 1's among ``wires``; returns the count LSB-first.
+
+    Built as a balanced tree of adders: ``n/2`` half-adders at the leaves,
+    then ``lg n - 1`` levels of progressively wider adders.  Total cost
+    ``O(n)`` gates with ripple adders at inner levels, ``O(n lg lg n)``
+    with prefix adders (depth ``O(lg n lg lg n)`` vs ``O(lg n)``... the
+    classic counter trade; both are exposed for measurement).
+    """
+    items = [[w] for w in wires]
+    if not items:
+        return [b.const(0)]
+    while len(items) > 1:
+        nxt: List[List[int]] = []
+        for i in range(0, len(items) - 1, 2):
+            a, c = items[i], items[i + 1]
+            if len(a) == 1 and len(c) == 1:
+                nxt.append(half_adder_count(b, a[0], c[0]))
+            else:
+                nxt.append(add_counts(b, a, c, adder=adder))
+        if len(items) % 2:
+            nxt.append(items[-1])
+        items = nxt
+    return items[0]

@@ -1,0 +1,72 @@
+"""Shuffle wirings.
+
+Shuffles are pure wiring permutations — they cost nothing and add no
+depth (Section II counts only switching elements).  They are therefore
+implemented as index permutations over Python lists of wire ids, usable
+both on wires during construction and on NumPy arrays during behavioral
+simulation.
+
+Conventions follow the paper's figures: a *two-way shuffle* interleaves
+the two halves of its inputs (output ``2i`` reads input ``i``, output
+``2i+1`` reads input ``n/2 + i``); a *k-way shuffle* interleaves ``k``
+contiguous blocks.  The "reversed" shuffle in the figures is the inverse
+permutation (the unshuffle).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _check(n: int, k: int) -> None:
+    if k <= 0 or n % k:
+        raise ValueError(f"cannot {k}-way shuffle {n} items")
+
+
+def k_way_shuffle_indices(n: int, k: int) -> List[int]:
+    """Index map for a k-way shuffle: ``out[pos] = in[idx[pos]]``.
+
+    Output position ``k*i + j`` reads input ``j*(n/k) + i`` — element
+    ``i`` of block ``j``.
+    """
+    _check(n, k)
+    m = n // k
+    return [j * m + i for i in range(m) for j in range(k)]
+
+
+def k_way_unshuffle_indices(n: int, k: int) -> List[int]:
+    """Inverse of :func:`k_way_shuffle_indices`."""
+    idx = k_way_shuffle_indices(n, k)
+    inv = [0] * n
+    for pos, src in enumerate(idx):
+        inv[src] = pos
+    return inv
+
+
+def apply_indices(items: Sequence[T], indices: Sequence[int]) -> List[T]:
+    """Permute ``items`` so output ``pos`` holds ``items[indices[pos]]``."""
+    if len(items) != len(indices):
+        raise ValueError("length mismatch")
+    return [items[i] for i in indices]
+
+
+def two_way_shuffle(items: Sequence[T]) -> List[T]:
+    """Perfect shuffle: interleave the two halves."""
+    return apply_indices(items, k_way_shuffle_indices(len(items), 2))
+
+
+def two_way_unshuffle(items: Sequence[T]) -> List[T]:
+    """Inverse perfect shuffle."""
+    return apply_indices(items, k_way_unshuffle_indices(len(items), 2))
+
+
+def k_way_shuffle(items: Sequence[T], k: int) -> List[T]:
+    """Interleave ``k`` contiguous blocks of ``items``."""
+    return apply_indices(items, k_way_shuffle_indices(len(items), k))
+
+
+def k_way_unshuffle(items: Sequence[T], k: int) -> List[T]:
+    """Inverse of :func:`k_way_shuffle`."""
+    return apply_indices(items, k_way_unshuffle_indices(len(items), k))

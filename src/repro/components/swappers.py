@@ -1,0 +1,115 @@
+"""Swapping networks (paper Section II-A/B and the k-SWAP of Section III-C).
+
+* :func:`two_way_swapper` — Fig. 2(a): a two-way shuffle, a stage of
+  ``n/2`` 2x2 switches sharing one control, and a reversed shuffle.
+  Control 0 passes straight; control 1 exchanges the two halves.
+  Cost ``n/2``, depth 1.
+* :func:`four_way_swapper` — Fig. 2(b): a four-way shuffle, ``n/4`` 4x4
+  switches sharing two select signals, and a reversed four-way shuffle.
+  The set of four quarter-permutations is a parameter; the IN-SWAP and
+  OUT-SWAP instantiations used by the mux-merger sorter live in
+  :mod:`repro.core.mux_merger`.  Cost ``n`` (4x4 switch = four 2x2
+  switches), depth 1.
+* :func:`k_swap` — Section III-C: ``k`` independent ``n/k``-input two-way
+  swappers, each steered by its own control bit.  Cost ``n/2``, depth 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuits.builder import CircuitBuilder
+from .shuffle import k_way_shuffle, k_way_unshuffle, two_way_shuffle, two_way_unshuffle
+
+#: Quarter-permutation table type: ``perms[sel][out_quarter] = in_quarter``.
+QuarterPerms = Tuple[Tuple[int, int, int, int], ...]
+
+
+def two_way_swapper(
+    b: CircuitBuilder, wires: Sequence[int], control: int
+) -> List[int]:
+    """Build an n-input two-way swapper; returns the n output wires.
+
+    When ``control`` is 1 the upper half of inputs appears on the lower
+    half of outputs and vice versa; when 0 the mapping is straight.
+    """
+    n = len(wires)
+    if n % 2:
+        raise ValueError(f"two-way swapper needs an even input count, got {n}")
+    shuffled = two_way_shuffle(list(wires))
+    stage: List[int] = []
+    for i in range(0, n, 2):
+        o0, o1 = b.switch2(shuffled[i], shuffled[i + 1], control)
+        stage.extend((o0, o1))
+    return two_way_unshuffle(stage)
+
+
+def four_way_swapper(
+    b: CircuitBuilder,
+    wires: Sequence[int],
+    sel_hi: int,
+    sel_lo: int,
+    perms: QuarterPerms,
+) -> List[int]:
+    """Build an n-input four-way swapper; returns the n output wires.
+
+    ``perms`` gives, for each 2-bit select value, the permutation of the
+    four input quarters onto the four output quarters
+    (``perms[sel][out_quarter] = in_quarter``).  All ``n/4`` internal 4x4
+    switches share the two select signals and the same table.
+    """
+    n = len(wires)
+    if n % 4:
+        raise ValueError(f"four-way swapper needs n divisible by 4, got {n}")
+    if len(perms) != 4:
+        raise ValueError("need one quarter-permutation per 2-bit select value")
+    shuffled = k_way_shuffle(list(wires), 4)
+    stage: List[int] = []
+    for i in range(0, n, 4):
+        outs = b.switch4(shuffled[i : i + 4], sel_hi, sel_lo, perms)
+        stage.extend(outs)
+    return k_way_unshuffle(stage, 4)
+
+
+def k_swap(
+    b: CircuitBuilder, wires: Sequence[int], controls: Sequence[int]
+) -> List[int]:
+    """Build the k-SWAP of Section III-C; returns the n output wires.
+
+    Input is viewed as ``k`` contiguous subsequences of ``n/k`` elements;
+    subsequence ``i`` passes through its own two-way swapper steered by
+    ``controls[i]``.
+    """
+    n, k = len(wires), len(controls)
+    if k <= 0 or n % k:
+        raise ValueError(f"cannot split {n} wires into {k} subsequences")
+    m = n // k
+    out: List[int] = []
+    for i in range(k):
+        out.extend(two_way_swapper(b, wires[i * m : (i + 1) * m], controls[i]))
+    return out
+
+
+def quarter_perm_from_cycles(*cycles: Sequence[int]) -> Tuple[int, int, int, int]:
+    """Build a quarter permutation from cycle notation over quarters 1-4.
+
+    The paper writes four-way swap patterns in cycle notation, e.g.
+    ``(1)(243)`` meaning quarter 2 goes to position 4, 4 to 3, and 3
+    to 2.  Returns the output-centric table
+    ``perm[out_quarter0] = in_quarter0`` (0-indexed) used by
+    :func:`four_way_swapper`.
+    """
+    dest = {q: q for q in (1, 2, 3, 4)}  # quarter -> output position
+    seen = set()
+    for cycle in cycles:
+        for i, q in enumerate(cycle):
+            if q not in dest or q in seen:
+                raise ValueError(f"cycles {cycles!r} do not form a permutation")
+            seen.add(q)
+            dest[q] = cycle[(i + 1) % len(cycle)]
+    if sorted(dest.values()) != [1, 2, 3, 4]:
+        raise ValueError(f"cycles {cycles!r} do not form a permutation")
+    perm = [0, 0, 0, 0]
+    for q, pos in dest.items():
+        perm[pos - 1] = q - 1
+    return tuple(perm)

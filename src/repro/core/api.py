@@ -1,0 +1,82 @@
+"""Convenience API: sort any-length bit sequences on any network.
+
+The paper assumes power-of-two inputs "with no loss of generality"; this
+module supplies the generality: inputs of arbitrary length are padded
+with 1's up to the next power of two (padding 1's sort to the bottom and
+are stripped), so downstream users get a plain ``sort_bits`` call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..circuits.netlist import Netlist
+from ..circuits.simulate import simulate
+from .fish_sorter import FishSorter
+from .mux_merger import build_mux_merger_sorter
+from .prefix_sorter import build_prefix_sorter
+
+#: netlist cache shared by :func:`sort_bits` calls
+_CACHE: Dict[Tuple[str, int], Union[Netlist, FishSorter]] = {}
+
+NETWORKS = ("mux_merger", "prefix", "fish")
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= n (and >= 1)."""
+    if n < 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def make_sorter(n: int, network: str = "mux_merger"):
+    """Build (and cache) a sorter instance for exactly ``n`` inputs.
+
+    ``n`` must be a power of two here; :func:`sort_bits` handles padding.
+    Returns a :class:`~repro.circuits.netlist.Netlist` for the
+    combinational networks and a :class:`FishSorter` for ``"fish"``.
+    """
+    key = (network, n)
+    if key not in _CACHE:
+        if network == "mux_merger":
+            _CACHE[key] = build_mux_merger_sorter(n)
+        elif network == "prefix":
+            _CACHE[key] = build_prefix_sorter(n)
+        elif network == "fish":
+            _CACHE[key] = FishSorter(n)
+        else:
+            raise ValueError(
+                f"unknown network {network!r}; choose one of {NETWORKS}"
+            )
+    return _CACHE[key]
+
+
+def sort_bits(
+    bits, network: str = "mux_merger", pipelined: bool = False
+) -> np.ndarray:
+    """Sort a 0/1 sequence of any length on the chosen adaptive network.
+
+    Pads with 1's to the next power of two, sorts, and strips the
+    padding (1's are the maximal element, so the first ``len(bits)``
+    outputs are exactly the sorted original sequence).
+    """
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    if arr.size and arr.max() > 1:
+        raise ValueError("sort_bits expects a 0/1 sequence")
+    if arr.size <= 1:
+        return arr.copy()
+    n = next_power_of_two(max(arr.size, 4 if network == "fish" else 2))
+    padded = np.concatenate([arr, np.ones(n - arr.size, dtype=np.uint8)])
+    sorter = make_sorter(n, network)
+    if network == "fish":
+        out, _ = sorter.sort(padded, pipelined=pipelined)
+    else:
+        out = simulate(sorter, padded[None, :])[0]
+    return out[: arr.size]
+
+
+def clear_cache() -> None:
+    """Drop all cached sorter instances (frees memory in long sessions)."""
+    _CACHE.clear()

@@ -1,0 +1,115 @@
+"""Balanced merging block and the alternative odd-even merge sorter (Fig. 4).
+
+The *balanced merging block* of Dowd, Perl, Rudolph, and Saks applies a
+stage of ``n/2`` comparators on the "balanced" pairs ``(i, n-1-i)`` and
+recurses on both halves.  For a binary input in ``A_n`` (Definition 1),
+Theorem 2 guarantees that after the first stage one half is clean and the
+other is in ``A_{n/2}``, and that every element of the upper half is at
+most every element of the lower half — so the recursion sorts.  Cost
+``(n/2) lg n``, depth ``lg n``.
+
+Cascading this with two recursively built half-size sorters and a shuffle
+yields the paper's Fig. 4(b) "alternative odd-even merge sorting
+network", a *nonadaptive* binary sorter with ``O(n lg^2 n)`` cost that
+Network 1 then improves to ``O(n lg n)`` by replacing the merging block
+with the adaptive patch-up network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..circuits.builder import CircuitBuilder
+from ..circuits.netlist import Netlist
+from ..components.shuffle import two_way_shuffle
+
+
+def balanced_comparator_stage(
+    b: CircuitBuilder, wires: Sequence[int]
+) -> List[int]:
+    """One stage of comparators on pairs ``(i, n-1-i)``; min keeps index i."""
+    n = len(wires)
+    if n % 2:
+        raise ValueError(f"balanced stage needs an even input count, got {n}")
+    out = list(wires)
+    for i in range(n // 2):
+        lo, hi = b.comparator(wires[i], wires[n - 1 - i])
+        out[i], out[n - 1 - i] = lo, hi
+    return out
+
+
+def balanced_merging_block(
+    b: CircuitBuilder, wires: Sequence[int]
+) -> List[int]:
+    """Recursive balanced merging block: sorts any ``A_n`` member."""
+    n = len(wires)
+    if n == 1:
+        return list(wires)
+    staged = balanced_comparator_stage(b, wires)
+    upper = balanced_merging_block(b, staged[: n // 2])
+    lower = balanced_merging_block(b, staged[n // 2 :])
+    return upper + lower
+
+
+def build_balanced_merging_block(n: int) -> Netlist:
+    """Standalone balanced merging block netlist for ``n`` inputs."""
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    b = CircuitBuilder(f"balanced-merging-block-{n}")
+    wires = b.add_inputs(n)
+    return b.build(balanced_merging_block(b, wires))
+
+
+def alternative_oem_sorter(
+    b: CircuitBuilder, wires: Sequence[int]
+) -> List[int]:
+    """Fig. 4(b): recursively sort halves, shuffle, balanced-merge."""
+    n = len(wires)
+    if n == 1:
+        return list(wires)
+    if n == 2:
+        lo, hi = b.comparator(wires[0], wires[1])
+        return [lo, hi]
+    upper = alternative_oem_sorter(b, wires[: n // 2])
+    lower = alternative_oem_sorter(b, wires[n // 2 :])
+    shuffled = two_way_shuffle(upper + lower)
+    return balanced_merging_block(b, shuffled)
+
+
+def build_alternative_oem_sorter(n: int) -> Netlist:
+    """Fig. 4(b) binary sorter netlist: ``O(n lg^2 n)`` cost, nonadaptive."""
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    b = CircuitBuilder(f"alternative-oem-sorter-{n}")
+    wires = b.add_inputs(n)
+    return b.build(alternative_oem_sorter(b, wires))
+
+
+# -- behavioral (oracle) versions --------------------------------------------
+
+
+def balanced_stage_behavioral(bits: np.ndarray) -> np.ndarray:
+    """NumPy oracle of :func:`balanced_comparator_stage`."""
+    n = bits.size
+    out = bits.copy()
+    left = bits[: n // 2]
+    right = bits[n // 2 :][::-1]
+    out[: n // 2] = np.minimum(left, right)
+    out[n // 2 :] = np.maximum(left, right)[::-1]
+    return out
+
+
+def balanced_merge_behavioral(bits: np.ndarray) -> np.ndarray:
+    """NumPy oracle of :func:`balanced_merging_block`."""
+    n = bits.size
+    if n == 1:
+        return bits.copy()
+    staged = balanced_stage_behavioral(bits)
+    return np.concatenate(
+        [
+            balanced_merge_behavioral(staged[: n // 2]),
+            balanced_merge_behavioral(staged[n // 2 :]),
+        ]
+    )

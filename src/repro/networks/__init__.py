@@ -1,0 +1,61 @@
+"""Interconnection networks built from binary sorters (Section IV)."""
+
+from .benes import BenesNetwork, benes_depth, benes_switch_count
+from .concentrator import (
+    IDLE,
+    ConcentrationResult,
+    FishConcentrator,
+    SortingConcentrator,
+    check_concentration,
+)
+from .permutation import (
+    FISH_MIN_SIZE,
+    PermutationReport,
+    RadixPermuter,
+    check_permutation,
+)
+from .carrying import (
+    CarryingBenes,
+    CarryingConcentrator,
+    SelfRoutingPermuter,
+    build_carrying_benes,
+    build_carrying_concentrator,
+    build_carrying_sorter,
+    build_self_routing_permuter,
+    bundle_comparator,
+)
+from .fabric import MuxStats, Packet, StatisticalMultiplexer
+from .word_sorter import (
+    RadixWordSorter,
+    WordSortReport,
+    build_rank_circuit,
+)
+
+__all__ = [
+    "BenesNetwork",
+    "CarryingBenes",
+    "CarryingConcentrator",
+    "ConcentrationResult",
+    "FISH_MIN_SIZE",
+    "FishConcentrator",
+    "IDLE",
+    "MuxStats",
+    "Packet",
+    "PermutationReport",
+    "RadixPermuter",
+    "RadixWordSorter",
+    "SelfRoutingPermuter",
+    "SortingConcentrator",
+    "StatisticalMultiplexer",
+    "WordSortReport",
+    "benes_depth",
+    "benes_switch_count",
+    "build_carrying_benes",
+    "build_carrying_concentrator",
+    "build_carrying_sorter",
+    "build_rank_circuit",
+    "build_self_routing_permuter",
+    "bundle_comparator",
+    "check_concentration",
+    "check_permutation",
+]

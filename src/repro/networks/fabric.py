@@ -1,0 +1,162 @@
+"""A statistical multiplexer built on the paper's concentrators.
+
+This is the downstream application Section I motivates: "many routing
+problems in parallel processing ... can be cast as sorting problems."
+An (n, m)-statistical multiplexer accepts up to ``n`` packets per cycle
+and forwards at most ``m`` of them onto trunk outputs; a concentrator is
+exactly the switch fabric that delivers any ``r <= m`` active inputs to
+``r`` distinct trunks.
+
+:class:`StatisticalMultiplexer` runs a cycle-accurate simulation:
+
+* each cycle, Bernoulli(load) arrivals enter per-input queues;
+* heads of non-empty queues request the concentrator, *oldest-first up
+  to the trunk capacity* (requests beyond ``m`` stay queued — the
+  concentrator itself is only guaranteed for r <= m);
+* granted packets leave through the fabric (payload-carrying, so the
+  simulation checks real delivery, not bookkeeping);
+* statistics: throughput, drop/backlog, queueing delay.
+
+The fabric backend is pluggable (combinational sorter vs fish), which is
+the Section IV cost/time trade made operational.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Literal, Optional, Tuple
+
+import numpy as np
+
+from .concentrator import FishConcentrator, SortingConcentrator, check_concentration
+
+
+@dataclass
+class MuxStats:
+    """Aggregate statistics of one simulation run."""
+
+    cycles: int = 0
+    arrivals: int = 0
+    forwarded: int = 0
+    dropped: int = 0
+    backlog: int = 0
+    total_delay: int = 0
+
+    @property
+    def throughput(self) -> float:
+        return self.forwarded / self.cycles if self.cycles else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return self.total_delay / self.forwarded if self.forwarded else 0.0
+
+    @property
+    def loss_rate(self) -> float:
+        return self.dropped / self.arrivals if self.arrivals else 0.0
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet: identity plus its arrival cycle (for delay stats)."""
+
+    pid: int
+    arrived: int
+
+
+class StatisticalMultiplexer:
+    """(n, m)-statistical multiplexer over a sorting concentrator."""
+
+    def __init__(
+        self,
+        n: int,
+        m: Optional[int] = None,
+        backend: str = "mux_merger",
+        queue_capacity: int = 8,
+    ) -> None:
+        self.n = n
+        self.m = n if m is None else m
+        if not 1 <= self.m <= n:
+            raise ValueError(f"need 1 <= m <= n, got m={self.m}")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.queue_capacity = queue_capacity
+        self.backend = backend
+        if backend == "fish":
+            self._fish: Optional[FishConcentrator] = FishConcentrator(n)
+            self._sorting: Optional[SortingConcentrator] = None
+            self.fabric_cost = self._fish.cost()
+        else:
+            self._fish = None
+            self._sorting = SortingConcentrator(n, n, sorter=backend)
+            self.fabric_cost = self._sorting.cost()
+        self.queues: List[Deque[Packet]] = [deque() for _ in range(n)]
+        self._next_pid = 0
+
+    # -- one cycle ---------------------------------------------------------------
+
+    def step(self, arrivals: np.ndarray, now: int, stats: MuxStats) -> List[Packet]:
+        """Advance one cycle; returns the packets forwarded this cycle."""
+        arrivals = np.asarray(arrivals, dtype=np.uint8)
+        if arrivals.size != self.n:
+            raise ValueError(f"expected {self.n} arrival flags")
+        for i in range(self.n):
+            if arrivals[i]:
+                stats.arrivals += 1
+                if len(self.queues[i]) >= self.queue_capacity:
+                    stats.dropped += 1
+                else:
+                    self.queues[i].append(Packet(self._next_pid, now))
+                    self._next_pid += 1
+
+        # oldest-head-first admission up to trunk capacity m
+        heads = [
+            (self.queues[i][0].arrived, i)
+            for i in range(self.n)
+            if self.queues[i]
+        ]
+        heads.sort()
+        admitted = {i for _, i in heads[: self.m]}
+        requests = np.zeros(self.n, dtype=np.uint8)
+        payloads = np.full(self.n, -1, dtype=np.int64)
+        for i in admitted:
+            requests[i] = 1
+            payloads[i] = self.queues[i][0].pid
+
+        if requests.any():
+            if self._fish is not None:
+                res, _ = self._fish.concentrate(requests, payloads)
+            else:
+                res = self._sorting.concentrate(requests, payloads)
+            assert check_concentration(requests, payloads, res)
+            granted_pids = set(int(p) for p in res.granted)
+        else:
+            granted_pids = set()
+
+        forwarded: List[Packet] = []
+        for i in admitted:
+            pkt = self.queues[i][0]
+            if pkt.pid in granted_pids:
+                self.queues[i].popleft()
+                forwarded.append(pkt)
+                stats.forwarded += 1
+                stats.total_delay += now - pkt.arrived
+        return forwarded
+
+    # -- full run ------------------------------------------------------------------
+
+    def run(
+        self,
+        cycles: int,
+        load: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> MuxStats:
+        """Simulate ``cycles`` rounds of Bernoulli(load) arrivals."""
+        rng = rng or np.random.default_rng(0)
+        stats = MuxStats()
+        for t in range(cycles):
+            arrivals = (rng.random(self.n) < load).astype(np.uint8)
+            self.step(arrivals, t, stats)
+            stats.cycles += 1
+        stats.backlog = sum(len(q) for q in self.queues)
+        return stats

@@ -1,0 +1,134 @@
+"""Hypothesis strategies for the paper's sequence classes.
+
+Public so downstream users can property-test their own code against the
+same input spaces the paper's theorems quantify over::
+
+    from hypothesis import given
+    from repro.testing import bisorted_sequences
+
+    @given(bisorted_sequences(max_lg=5))
+    def test_my_merger(x):
+        ...
+
+Every strategy draws power-of-two lengths (the paper's convention) and
+returns ``numpy.uint8`` arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    from hypothesis import strategies as st
+except ImportError as exc:  # pragma: no cover
+    raise ImportError(
+        "repro.testing requires hypothesis (pip install hypothesis)"
+    ) from exc
+
+from .core import sequences as seq
+
+__all__ = [
+    "binary_sequences",
+    "sorted_sequences",
+    "bisorted_sequences",
+    "k_sorted_sequences",
+    "clean_k_sorted_sequences",
+    "a_n_members",
+]
+
+
+def _length(min_lg: int, max_lg: int):
+    return st.integers(min_lg, max_lg).map(lambda p: 1 << p)
+
+
+def binary_sequences(min_lg: int = 1, max_lg: int = 6) -> st.SearchStrategy:
+    """Arbitrary 0/1 sequences of power-of-two length."""
+    return _length(min_lg, max_lg).flatmap(
+        lambda n: st.lists(st.integers(0, 1), min_size=n, max_size=n)
+    ).map(lambda v: np.array(v, dtype=np.uint8))
+
+
+def sorted_sequences(min_lg: int = 1, max_lg: int = 8) -> st.SearchStrategy:
+    """Ascending binary sequences (all 0's then all 1's)."""
+    return _length(min_lg, max_lg).flatmap(
+        lambda n: st.integers(0, n).map(lambda z: seq.sorted_sequence(n, z))
+    )
+
+
+def bisorted_sequences(min_lg: int = 1, max_lg: int = 8) -> st.SearchStrategy:
+    """Definition 3: both halves sorted."""
+
+    def build(n):
+        h = n // 2
+        return st.tuples(st.integers(0, h), st.integers(0, h)).map(
+            lambda zz: np.concatenate(
+                [seq.sorted_sequence(h, zz[0]), seq.sorted_sequence(h, zz[1])]
+            )
+        )
+
+    return _length(min_lg, max_lg).flatmap(build)
+
+
+def k_sorted_sequences(
+    k: int = 4, min_lg_block: int = 1, max_lg_block: int = 5
+) -> st.SearchStrategy:
+    """Definition 4: k equal-size sorted blocks (k a power of two)."""
+    if k < 1 or k & (k - 1):
+        raise ValueError("k must be a power of two")
+
+    def build(block):
+        return st.lists(
+            st.integers(0, block), min_size=k, max_size=k
+        ).map(
+            lambda zs: np.concatenate(
+                [seq.sorted_sequence(block, z) for z in zs]
+            )
+        )
+
+    return _length(min_lg_block, max_lg_block).flatmap(build)
+
+
+def clean_k_sorted_sequences(
+    k: int = 4, min_lg_block: int = 1, max_lg_block: int = 5
+) -> st.SearchStrategy:
+    """Definition 5: k equal-size clean blocks."""
+    if k < 1 or k & (k - 1):
+        raise ValueError("k must be a power of two")
+
+    def build(block):
+        return st.lists(st.integers(0, 1), min_size=k, max_size=k).map(
+            lambda bs: np.repeat(np.array(bs, dtype=np.uint8), block)
+        )
+
+    return _length(min_lg_block, max_lg_block).flatmap(build)
+
+
+def a_n_members(min_lg: int = 1, max_lg: int = 7) -> st.SearchStrategy:
+    """Definition 1: members of the regular language ``A_n``.
+
+    Draws the three block patterns and lengths directly from the
+    defining expression, so arbitrarily long members are cheap.
+    """
+
+    def build(n):
+        def assemble(parts):
+            a_pairs, pa, pb, pc = parts
+            b_pairs_max = n // 2 - a_pairs
+            return st.integers(0, b_pairs_max).map(
+                lambda b_pairs: _assemble(n, a_pairs, b_pairs, pa, pb, pc)
+            )
+
+        return st.tuples(
+            st.integers(0, n // 2),
+            st.sampled_from(["00", "11"]),
+            st.sampled_from(["01", "10"]),
+            st.sampled_from(["00", "11"]),
+        ).flatmap(assemble)
+
+    return _length(min_lg, max_lg).flatmap(build)
+
+
+def _assemble(n, a_pairs, b_pairs, pa, pb, pc) -> np.ndarray:
+    c_pairs = n // 2 - a_pairs - b_pairs
+    s = pa * a_pairs + pb * b_pairs + pc * c_pairs
+    return np.frombuffer(s.encode(), dtype=np.uint8) - ord("0")

@@ -1,0 +1,6 @@
+"""ASCII visualization of network constructions."""
+
+from .ascii_art import render_block_diagram, render_comparator_network
+from .dot import to_dot
+
+__all__ = ["render_block_diagram", "render_comparator_network", "to_dot"]

@@ -1,0 +1,75 @@
+"""ASCII renderings of the paper's network constructions.
+
+Used by benchmarks and examples to display Figure 1-style comparator
+diagrams (Knuth notation: horizontal wires, vertical comparator bars) and
+summary block diagrams of the adaptive networks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..baselines.batcher import Stage
+
+
+def render_comparator_network(n: int, stages: Sequence[Stage]) -> str:
+    """Knuth-style diagram of a comparator network.
+
+    Wires run left to right; each comparator is a vertical bar between
+    the two wire rows it compares, placed in its own column within the
+    stage (overlapping comparators in one stage share a column when
+    disjoint in rows).
+    """
+    columns: List[List[Tuple[int, int]]] = []
+    for stage in stages:
+        placed: List[List[Tuple[int, int]]] = []
+        for pair in stage:
+            i, j = pair[0], pair[1]
+            lo, hi = min(i, j), max(i, j)
+            for col in placed:
+                if all(hi < a or lo > b for a, b in col):
+                    col.append((lo, hi))
+                    break
+            else:
+                placed.append([(lo, hi)])
+        columns.extend(placed)
+        columns.append([])  # stage separator
+    if columns and not columns[-1]:
+        columns.pop()
+
+    grid = [[("-" if r % 2 == 0 else " ") for _ in range(3 * len(columns) + 2)]
+            for r in range(2 * n - 1)]
+    for c, col in enumerate(columns):
+        x = 3 * c + 2
+        for lo, hi in col:
+            grid[2 * lo][x] = "o"
+            grid[2 * hi][x] = "o"
+            for r in range(2 * lo + 1, 2 * hi):
+                grid[r][x] = "|"
+    lines = []
+    for r in range(2 * n - 1):
+        if r % 2 == 0:
+            lines.append(f"x{r // 2:<2}" + "".join(grid[r]))
+        else:
+            lines.append("   " + "".join(grid[r]))
+    return "\n".join(lines)
+
+
+def render_block_diagram(title: str, blocks: Sequence[Tuple[str, str]]) -> str:
+    """Simple left-to-right block diagram: [(label, annotation), ...]."""
+    tops, mids, bots = [], [], []
+    for label, note in blocks:
+        w = max(len(label), len(note)) + 2
+        tops.append("+" + "-" * w + "+")
+        mids.append("|" + label.center(w) + "|")
+        bots.append("|" + note.center(w) + "|")
+    arrow = " -> "
+    return "\n".join(
+        [
+            title,
+            arrow.join(tops).replace("->", "  "),
+            arrow.join(mids),
+            arrow.join(bots).replace("->", "  "),
+            arrow.join(t for t in tops).replace("->", "  "),
+        ]
+    )

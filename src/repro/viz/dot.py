@@ -1,0 +1,52 @@
+"""Graphviz DOT export for netlists.
+
+``to_dot(netlist)`` emits a DOT digraph — inputs as plain nodes, elements
+as boxes labelled by kind, outputs as doubled circles — so constructions
+can be inspected with any graphviz viewer.  For big networks,
+``max_elements`` guards against accidentally emitting megabyte graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuits.netlist import Netlist
+
+_SHAPE = {
+    "COMPARATOR": "box",
+    "SWITCH2": "box",
+    "SWITCH4": "box3d",
+    "MUX2": "trapezium",
+    "DEMUX2": "invtrapezium",
+}
+
+
+def to_dot(netlist: Netlist, max_elements: Optional[int] = 2000) -> str:
+    """Render ``netlist`` as a Graphviz DOT string."""
+    if max_elements is not None and len(netlist.elements) > max_elements:
+        raise ValueError(
+            f"netlist has {len(netlist.elements)} elements; raise "
+            f"max_elements (currently {max_elements}) to render it anyway"
+        )
+    lines = [f'digraph "{netlist.name}" {{', "  rankdir=LR;"]
+    for i, w in enumerate(netlist.inputs):
+        lines.append(f'  w{w} [label="in{i}" shape=plaintext];')
+    for w, v in netlist.constants.items():
+        lines.append(f'  w{w} [label="{v}" shape=plaintext];')
+    out_set = {w: i for i, w in enumerate(netlist.outputs)}
+    for idx, e in enumerate(netlist.elements):
+        shape = _SHAPE.get(e.kind, "ellipse")
+        lines.append(f'  e{idx} [label="{e.kind}" shape={shape}];')
+        for w in e.ins:
+            lines.append(f"  w{w} -> e{idx};")
+        for w in e.outs:
+            label = f' [label="out{out_set[w]}"]' if w in out_set else ""
+            lines.append(f'  e{idx} -> w{w}{label};')
+            style = "doublecircle" if w in out_set else "point"
+            lines.append(f"  w{w} [shape={style} label=\"\"];")
+    # primary inputs that are also outputs (pass-through)
+    for w in netlist.outputs:
+        if w in netlist.inputs or w in netlist.constants:
+            lines.append(f"  w{w} [shape=doublecircle];")
+    lines.append("}")
+    return "\n".join(lines)

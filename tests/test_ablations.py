@@ -1,0 +1,62 @@
+"""Tests for the design-choice ablations called out in DESIGN.md."""
+
+import math
+
+import pytest
+
+from repro.analysis import verify_sorter_exhaustive
+from repro.analysis.ablations import (
+    build_patchup_naive,
+    fish_k_sweep,
+    prefix_sorter_adder_sweep,
+)
+from repro.core import build_prefix_sorter
+from repro.core.fish_sorter import default_k
+
+
+class TestNaiveSteeringAblation:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_naive_variant_still_sorts(self, n):
+        assert verify_sorter_exhaustive(build_patchup_naive(n))
+
+    def test_naive_steering_is_much_more_expensive(self):
+        """Per-level popcounts push steering cost to Theta(n lg n) inside
+        the patch-up alone — the shared-adder design is load-bearing."""
+        for n in (64, 256):
+            naive = build_patchup_naive(n).cost()
+            shared = build_prefix_sorter(n).cost()
+            assert naive > 2 * shared
+
+    def test_gap_grows_with_n(self):
+        gaps = [
+            build_patchup_naive(n).cost() / build_prefix_sorter(n).cost()
+            for n in (32, 128, 512)
+        ]
+        assert gaps[0] < gaps[-1]
+
+
+class TestAdderSweep:
+    def test_sweep_rows(self):
+        rows = prefix_sorter_adder_sweep([16, 64])
+        assert len(rows) == 2
+        for row in rows:
+            assert row["cost_ripple_adder"] < row["cost_prefix_adder"]
+            assert row["depth_ripple_adder"] >= row["depth_prefix_adder"]
+
+
+class TestFishKSweep:
+    def test_cost_minimized_near_lg_n(self):
+        """eq. (19): k = lg n minimizes cost."""
+        n = 256
+        rows = fish_k_sweep(n)
+        best = min(rows, key=lambda r: r["cost"])
+        assert best["k"] == default_k(n) == 8  # lg 256
+
+    def test_time_increases_with_k(self):
+        rows = fish_k_sweep(128)
+        times = [r["sorting_time"] for r in rows]
+        assert times == sorted(times)
+
+    def test_all_below_paper_bound(self):
+        for row in fish_k_sweep(64):
+            assert row["cost"] <= row["paper_bound"]

@@ -1,0 +1,136 @@
+"""Unit tests for the analysis package."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    aks_cost_crossover,
+    aks_time_crossover,
+    batcher_improvement_factor,
+    find_crossover,
+    format_table,
+    loglog_slope,
+    measure_network,
+    measure_sweep,
+    normalized_constant,
+    verify_netlist_random,
+    verify_sorter_exhaustive,
+    verify_sorter_random,
+)
+from repro.core import build_mux_merger_sorter
+
+
+class TestMeasure:
+    def test_measure_fields(self):
+        m = measure_network("mux_merger", 32)
+        assert m.network == "mux_merger" and m.n == 32
+        assert m.cost > 0 and m.depth > 0 and m.time == m.depth
+        assert m.claimed_cost == 4 * 32 * 5
+
+    def test_measure_fish_has_time(self):
+        m = measure_network("fish", 32)
+        assert m.time > m.depth  # multiplexed passes exceed any one depth
+
+    def test_measure_fish_pipelined_faster(self):
+        seq = measure_network("fish", 64)
+        pipe = measure_network("fish", 64, pipelined=True)
+        assert pipe.time < seq.time
+
+    def test_sweep(self):
+        ms = measure_sweep("batcher_oem", [8, 16, 32])
+        assert [m.n for m in ms] == [8, 16, 32]
+        assert ms[0].cost < ms[1].cost < ms[2].cost
+
+    def test_unknown_network(self):
+        with pytest.raises(ValueError):
+            measure_network("quicksort", 16)
+
+    def test_all_supported_networks(self):
+        for name in (
+            "prefix", "mux_merger", "fish", "batcher_oem",
+            "batcher_bitonic", "balanced", "columnsort_tm",
+            "muller_preparata",
+        ):
+            m = measure_network(name, 16)
+            assert m.cost > 0
+
+
+class TestSlopes:
+    def test_linear_data(self):
+        assert loglog_slope([2, 4, 8, 16], [10, 20, 40, 80]) == pytest.approx(1.0)
+
+    def test_quadratic_data(self):
+        assert loglog_slope([2, 4, 8], [4, 16, 64]) == pytest.approx(2.0)
+
+    def test_normalized_constant(self):
+        ms = measure_sweep("mux_merger", [64, 256])
+        consts = normalized_constant(ms, lambda n: n * math.log2(n))
+        assert all(c < 4.0 for c in consts)  # below the paper's 4n lg n
+
+
+class TestCrossover:
+    def test_find_crossover_simple(self):
+        # lg^2 n vs 100 lg n cross at lg n = 100
+        res = find_crossover(
+            ours=lambda n: math.log2(n) ** 2,
+            theirs=lambda n: 100 * math.log2(n),
+        )
+        assert res.lg_n == pytest.approx(100, abs=0.5)
+
+    def test_no_crossover(self):
+        res = find_crossover(ours=lambda n: n, theirs=lambda n: 2 * n)
+        assert res.lg_n is None
+
+    def test_aks_time_crossover_astronomical(self):
+        # paper's claim: AKS wins only for extremely large n (~2^78)
+        res = aks_time_crossover()
+        assert res.lg_n is not None
+        assert res.lg_n > 60
+
+    def test_aks_cost_never_crosses(self):
+        assert aks_cost_crossover().lg_n is None
+
+    def test_batcher_factor_grows_like_lg_squared(self):
+        f20 = batcher_improvement_factor(2 ** 20)
+        f40 = batcher_improvement_factor(2 ** 40)
+        assert f40 / f20 == pytest.approx(4.0, rel=0.35)  # (40/20)^2
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(
+            ["n", "cost"], [[16, 100], [256, 2000]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "cost" in lines[1]
+        assert "2000" in lines[-1]
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1234567.0], [0.000123], [3.14159]])
+        assert "1.23e+06" in out
+        assert "3.14" in out
+
+
+class TestVerifyHelpers:
+    def test_exhaustive_accepts_sorter(self):
+        assert verify_sorter_exhaustive(build_mux_merger_sorter(8))
+
+    def test_exhaustive_rejects_non_sorter(self):
+        from repro.circuits import CircuitBuilder
+
+        b = CircuitBuilder()
+        ws = b.add_inputs(4)
+        net = b.build(list(ws))  # identity is not a sorter
+        assert not verify_sorter_exhaustive(net)
+
+    def test_exhaustive_refuses_wide(self):
+        with pytest.raises(ValueError):
+            verify_sorter_exhaustive(build_mux_merger_sorter(32))
+
+    def test_random_helpers(self, rng):
+        assert verify_sorter_random(np.sort, 32, trials=20, rng=rng)
+        assert not verify_sorter_random(lambda x: x, 32, trials=50, rng=rng)
+        assert verify_netlist_random(build_mux_merger_sorter(64), trials=64)

@@ -1,0 +1,89 @@
+"""Unit tests for the convenience API (any-length sorting, caching, CLI)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import (
+    clear_cache,
+    make_sorter,
+    next_power_of_two,
+    sort_bits,
+)
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "n,expect", [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (16, 16), (17, 32)]
+    )
+    def test_values(self, n, expect):
+        assert next_power_of_two(n) == expect
+
+
+class TestSortBits:
+    @pytest.mark.parametrize("network", ["mux_merger", "prefix", "fish"])
+    def test_arbitrary_lengths(self, network, rng):
+        for length in (1, 2, 3, 5, 7, 12, 17, 33, 60):
+            bits = rng.integers(0, 2, length).astype(np.uint8)
+            out = sort_bits(bits, network=network)
+            assert out.tolist() == sorted(bits.tolist()), (network, length)
+
+    def test_empty_and_singleton(self):
+        assert sort_bits([]).tolist() == []
+        assert sort_bits([1]).tolist() == [1]
+        assert sort_bits([0]).tolist() == [0]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            sort_bits([0, 1, 2])
+
+    def test_rejects_unknown_network(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            sort_bits([1, 0, 1], network="timsort")
+
+    def test_padding_does_not_leak(self, rng):
+        # padding 1's must never appear in the output prefix
+        bits = np.zeros(5, dtype=np.uint8)
+        out = sort_bits(bits)
+        assert out.tolist() == [0, 0, 0, 0, 0]
+
+    def test_fish_pipelined_flag(self, rng):
+        bits = rng.integers(0, 2, 20).astype(np.uint8)
+        a = sort_bits(bits, network="fish")
+        b = sort_bits(bits, network="fish", pipelined=True)
+        assert np.array_equal(a, b)
+
+
+class TestCache:
+    def test_same_instance_returned(self):
+        clear_cache()
+        a = make_sorter(16, "mux_merger")
+        b = make_sorter(16, "mux_merger")
+        assert a is b
+
+    def test_clear_cache(self):
+        a = make_sorter(16, "mux_merger")
+        clear_cache()
+        b = make_sorter(16, "mux_merger")
+        assert a is not b
+
+    def test_distinct_networks_distinct_entries(self):
+        clear_cache()
+        a = make_sorter(16, "mux_merger")
+        b = make_sorter(16, "prefix")
+        assert a is not b
+
+
+class TestCLI:
+    def test_main_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["64"]) == 0
+        out = capsys.readouterr().out
+        assert "Network 3 (fish)" in out
+        assert "verified: True" in out
+
+    def test_main_rejects_bad_n(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["12"]) == 2
+        assert main(["not-a-number"]) == 2

@@ -1,0 +1,97 @@
+"""Unit tests for the balanced merging block and Fig. 4(b) sorter."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import verify_sorter_exhaustive
+from repro.circuits import simulate
+from repro.core import sequences as seq
+from repro.core.balanced_merge import (
+    balanced_merge_behavioral,
+    balanced_stage_behavioral,
+    build_alternative_oem_sorter,
+    build_balanced_merging_block,
+)
+
+
+class TestBalancedStage:
+    def test_pairs_i_with_mirror(self):
+        z = np.array([1, 0, 0, 0], dtype=np.uint8)
+        y = balanced_stage_behavioral(z)
+        # pairs (0,3), (1,2): min up
+        assert y.tolist() == [0, 0, 0, 1]
+
+    def test_idempotent_on_sorted(self):
+        s = seq.sorted_sequence(8, 3)
+        assert np.array_equal(balanced_stage_behavioral(s), s)
+
+
+class TestBalancedMergingBlock:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_sorts_all_A_n(self, n):
+        net = build_balanced_merging_block(n)
+        for z in seq.enumerate_A(n):
+            out = simulate(net, z[None, :])[0]
+            assert seq.is_sorted_binary(out)
+            assert out.sum() == z.sum()
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 64])
+    def test_cost_depth(self, n):
+        net = build_balanced_merging_block(n)
+        lg = n.bit_length() - 1
+        assert net.cost() == n // 2 * lg  # (n/2) lg n comparators
+        assert net.depth() == lg
+
+    def test_netlist_matches_behavioral(self, rng):
+        net = build_balanced_merging_block(16)
+        for z in seq.enumerate_A(16)[::7]:
+            out = simulate(net, z[None, :])[0]
+            assert np.array_equal(out, balanced_merge_behavioral(z))
+
+    def test_does_not_sort_arbitrary_inputs(self):
+        # the block only sorts A_n members; exhibit a non-member failure
+        net = build_balanced_merging_block(8)
+        z = np.array([1, 0, 0, 1, 0, 0, 0, 0], dtype=np.uint8)
+        assert not seq.in_A(z)
+        out = simulate(net, z[None, :])[0]
+        assert not seq.is_sorted_binary(out)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            build_balanced_merging_block(6)
+
+
+class TestAlternativeOEMSorter:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_sorts_exhaustively(self, n):
+        assert verify_sorter_exhaustive(build_alternative_oem_sorter(n))
+
+    def test_cost_n_lg2_scaling(self):
+        # C(n) = 2C(n/2) + (n/2) lg n with C(2) = 1 -> exactly
+        # (n/4) lg n (lg n + 1) - (n - 1) + n/2; check the recurrence
+        def expect(n):
+            if n == 2:
+                return 1
+            return 2 * expect(n // 2) + (n // 2) * (n.bit_length() - 1)
+
+        for n in (4, 8, 16, 64, 128):
+            assert build_alternative_oem_sorter(n).cost() == expect(n)
+        # per-doubling growth tends to 2 * ((lg+1)/lg)^2 ~ 2.7 at n=128
+        assert 2.0 < expect(128) / expect(64) < 2.9
+
+    def test_depth_quadratic_in_lg(self):
+        # D(n) = D(n/2) + lg n = lg n (lg n + 1) / 2
+        for n in (4, 8, 16, 64):
+            lg = n.bit_length() - 1
+            assert build_alternative_oem_sorter(n).depth() == lg * (lg + 1) // 2
+
+    def test_costs_more_than_batcher_same_depth(self):
+        # Fig. 4(b) discussion: the balanced merging block is "more
+        # complex" than Batcher's odd-even merger
+        from repro.baselines.batcher import build_odd_even_merge_sorter
+
+        n = 64
+        alt = build_alternative_oem_sorter(n)
+        oem = build_odd_even_merge_sorter(n)
+        assert alt.cost() > oem.cost()
+        assert alt.depth() == oem.depth()

@@ -1,0 +1,196 @@
+"""Unit tests for the balanced sorter, columnsort, Muller-Preparata, AKS."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import loglog_slope, verify_sorter_exhaustive
+from repro.baselines.aks import AKSModel, PATERSON_DEPTH_CONSTANT
+from repro.baselines.balanced import (
+    balanced_sort_behavioral,
+    balanced_sorter_cost,
+    build_balanced_sorter,
+)
+from repro.baselines.columnsort import (
+    TimeMultiplexedColumnsort,
+    build_columnsort_network,
+    choose_dims,
+    columnsort,
+    columnsort_cost_model,
+    leighton_valid,
+)
+from repro.baselines.muller_preparata import build_muller_preparata_sorter
+from repro.circuits import NO_PAYLOAD, simulate, simulate_payload
+
+
+class TestBalancedSorter:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_exhaustive(self, n):
+        assert verify_sorter_exhaustive(build_balanced_sorter(n))
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 64])
+    def test_cost_formula(self, n):
+        assert build_balanced_sorter(n).cost() == balanced_sorter_cost(n)
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_depth_lg_squared(self, n):
+        lg = n.bit_length() - 1
+        assert build_balanced_sorter(n).depth() == lg * lg
+
+    def test_behavioral_matches(self, rng):
+        net = build_balanced_sorter(16)
+        for _ in range(30):
+            x = rng.integers(0, 2, 16).astype(np.uint8)
+            assert np.array_equal(
+                simulate(net, x[None, :])[0], balanced_sort_behavioral(x)
+            )
+
+
+class TestColumnsort:
+    @pytest.mark.parametrize("r,s", [(4, 2), (8, 2), (9, 3), (18, 3), (20, 4), (32, 4)])
+    def test_sorts_random_ints(self, r, s, rng):
+        for _ in range(30):
+            v = rng.integers(0, 100, r * s)
+            assert np.array_equal(columnsort(v, r, s), np.sort(v))
+
+    def test_sorts_floats(self, rng):
+        v = rng.normal(size=40)
+        assert np.allclose(columnsort(v, 20, 2), np.sort(v))
+
+    def test_validity_condition(self):
+        assert leighton_valid(8, 2)
+        assert not leighton_valid(8, 3)  # s does not divide r
+        assert not leighton_valid(6, 3)  # r < 2(s-1)^2
+        with pytest.raises(ValueError):
+            columnsort(np.zeros(18), 6, 3)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            columnsort(np.zeros(10), 4, 2)
+
+    def test_choose_dims_valid(self):
+        for p in range(2, 14):
+            n = 1 << p
+            r, s = choose_dims(n)
+            assert r * s == n and leighton_valid(r, s)
+
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_network_exhaustive(self, n):
+        tm = TimeMultiplexedColumnsort(n)
+        if n == 16:
+            for v in range(1 << n):
+                if v % 257:  # sample 1/257 of the space to keep it fast
+                    continue
+                x = np.array([(v >> (n - 1 - i)) & 1 for i in range(n)], dtype=np.uint8)
+                out, _ = tm.sort(x)
+                assert np.array_equal(out, np.sort(x))
+        else:
+            rng = np.random.default_rng(1)
+            for _ in range(20):
+                x = rng.integers(0, 2, n).astype(np.uint8)
+                out, _ = tm.sort(x)
+                assert np.array_equal(out, np.sort(x))
+
+    def test_network_pipelining_reduces_time(self):
+        tm = TimeMultiplexedColumnsort(256)
+        x = np.zeros(256, dtype=np.uint8)
+        _, rep_seq = tm.sort(x)
+        _, rep_pipe = tm.sort(x, pipelined=True)
+        assert rep_pipe.sorting_time < rep_seq.sorting_time
+        assert rep_seq.column_passes == rep_pipe.column_passes == 3 * tm.s + (tm.s + 1)
+
+    def test_cost_linearish(self):
+        costs = {n: TimeMultiplexedColumnsort(n).cost() for n in (256, 1024, 4096)}
+        slope = loglog_slope(list(costs), list(costs.values()))
+        assert slope < 1.35  # O(n) with polylog wiggle from dim rounding
+
+    def test_cost_model_fields(self):
+        model = columnsort_cost_model(1024)
+        assert model["total_cost"] > model["sorter_cost"]
+        assert model["time_unpipelined"] > model["time_pipelined"]
+
+
+class TestColumnsortNetwork:
+    """The non-multiplexed combinational columnsort network (§III-C end)."""
+
+    def test_exhaustive_n16(self):
+        assert verify_sorter_exhaustive(build_columnsort_network(16))
+
+    def test_random_n64(self, rng):
+        from repro.analysis import verify_netlist_random
+
+        assert verify_netlist_random(build_columnsort_network(64), trials=128)
+
+    def test_cost_n_lg2_class(self):
+        """Paper: O(n lg^2 n) bit-level cost for the non-multiplexed
+        network.  Normalizing by n lg^2 r (r the Batcher column height
+        chosen for each n) must give a bounded, narrow band; normalizing
+        by plain n must drift upward."""
+        from repro.baselines.columnsort import choose_dims
+
+        norm2, norm0 = [], []
+        for n in (64, 256, 1024, 4096):
+            cost = build_columnsort_network(n).cost()
+            r, _ = choose_dims(n)
+            lg_r = math.log2(r)
+            norm2.append(cost / (n * lg_r * lg_r))
+            norm0.append(cost / n)
+        assert max(norm2) / min(norm2) < 1.6
+        assert norm0[-1] / norm0[0] > 1.5  # clearly superlinear
+
+    def test_time_multiplexing_saves_hardware(self):
+        """The whole reason Model B exists: the TM version's hardware is
+        a fraction of the combinational network's."""
+        n = 256
+        comb = build_columnsort_network(n).cost()
+        tm = TimeMultiplexedColumnsort(n).cost()
+        assert tm < comb / 2
+
+    def test_explicit_dims(self):
+        net = build_columnsort_network(16, 8, 2)
+        assert verify_sorter_exhaustive(net)
+        with pytest.raises(ValueError):
+            build_columnsort_network(16, 8, None)
+        with pytest.raises(ValueError):
+            build_columnsort_network(18, 6, 3)  # invalid leighton dims
+
+
+class TestMullerPreparata:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_exhaustive(self, n):
+        assert verify_sorter_exhaustive(build_muller_preparata_sorter(n))
+
+    def test_linear_cost(self):
+        costs = {n: build_muller_preparata_sorter(n).cost() for n in (64, 128, 256, 512)}
+        assert loglog_slope(list(costs), list(costs.values())) < 1.2
+
+    def test_logarithmic_depth(self):
+        d = {n: build_muller_preparata_sorter(n).depth() for n in (64, 256, 1024)}
+        # depth grows additively with lg n, not multiplicatively
+        assert d[1024] - d[256] <= d[256] - d[64] + 4
+
+    def test_cannot_carry_payloads(self):
+        """Section I's distinction: the Boolean sorting circuit generates
+        sorted bits but cannot move inputs — every output payload is
+        NO_PAYLOAD, so it cannot serve as a concentrator."""
+        net = build_muller_preparata_sorter(16)
+        tags = np.random.default_rng(2).integers(0, 2, (4, 16)).astype(np.uint8)
+        pays = np.tile(np.arange(16, dtype=np.int64), (4, 1))
+        _, p = simulate_payload(net, tags, pays)
+        assert np.all(p == NO_PAYLOAD)
+
+
+class TestAKSModel:
+    def test_depth_constant(self):
+        m = AKSModel()
+        assert m.depth(2 ** 20) == PATERSON_DEPTH_CONSTANT * 20
+
+    def test_cost_relation(self):
+        m = AKSModel()
+        n = 2.0 ** 30
+        assert m.cost(n) == pytest.approx(n / 2 * m.depth(n))
+
+    def test_time_is_depth(self):
+        m = AKSModel(1000.0)
+        assert m.sorting_time(1024) == m.depth(1024)

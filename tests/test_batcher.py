@@ -1,0 +1,85 @@
+"""Unit tests for Batcher baselines (Fig. 4(a), Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import verify_netlist_random, verify_sorter_exhaustive
+from repro.baselines.batcher import (
+    apply_schedule,
+    batcher_depth,
+    bitonic_comparator_count,
+    bitonic_schedule,
+    build_bitonic_sorter,
+    build_odd_even_merge_sorter,
+    odd_even_merge_schedule,
+    oem_comparator_count,
+)
+
+
+class TestOddEvenMerge:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_exhaustive(self, n):
+        assert verify_sorter_exhaustive(build_odd_even_merge_sorter(n))
+
+    @pytest.mark.parametrize("n", [32, 64])
+    def test_random(self, n):
+        assert verify_netlist_random(build_odd_even_merge_sorter(n))
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64, 128])
+    def test_exact_comparator_count(self, n):
+        assert build_odd_even_merge_sorter(n).cost() == oem_comparator_count(n)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64, 128])
+    def test_exact_depth(self, n):
+        assert build_odd_even_merge_sorter(n).depth() == batcher_depth(n)
+
+    def test_fig1_four_input_network(self):
+        # Fig. 1's 4-input sorting network: cost 5, depth 3
+        net = build_odd_even_merge_sorter(4)
+        assert net.cost() == 5
+        assert net.depth() == 3
+
+    def test_sorts_arbitrary_values(self, rng):
+        sched = odd_even_merge_schedule(32)
+        for _ in range(50):
+            v = rng.integers(0, 1000, 32)
+            assert np.array_equal(apply_schedule(v, sched), np.sort(v))
+
+
+class TestBitonic:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_exhaustive(self, n):
+        assert verify_sorter_exhaustive(build_bitonic_sorter(n))
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64])
+    def test_exact_count_and_depth(self, n):
+        net = build_bitonic_sorter(n)
+        assert net.cost() == bitonic_comparator_count(n)
+        assert net.depth() == batcher_depth(n)
+
+    def test_bitonic_costs_more_than_oem(self):
+        for n in (8, 32, 128):
+            assert bitonic_comparator_count(n) > oem_comparator_count(n)
+
+    def test_sorts_arbitrary_values(self, rng):
+        sched = bitonic_schedule(16)
+        for _ in range(50):
+            v = rng.integers(-50, 50, 16)
+            assert np.array_equal(apply_schedule(v, sched), np.sort(v))
+
+
+class TestZeroOnePrinciple:
+    def test_binary_implies_arbitrary(self, rng):
+        """The 0-1 principle's practical use: the schedules verified
+        exhaustively on bits also sort arbitrary integers."""
+        for sched_fn in (odd_even_merge_schedule, bitonic_schedule):
+            sched = sched_fn(16)
+            for _ in range(25):
+                v = rng.normal(size=16)
+                assert np.array_equal(apply_schedule(v, sched), np.sort(v))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            odd_even_merge_schedule(12)
+        with pytest.raises(ValueError):
+            bitonic_schedule(9)

@@ -1,0 +1,99 @@
+"""Tests for the behavioral fish/k-way oracles and the time models."""
+
+import numpy as np
+import pytest
+
+from repro.core.fish_sorter import (
+    FishSorter,
+    default_k,
+    fish_sort_behavioral,
+    fish_time_model,
+)
+from repro.core.kway import KWayMuxMerger, kway_merge_behavioral
+from repro.core.sequences import is_sorted_binary, random_k_sorted
+
+
+class TestKWayBehavioral:
+    @pytest.mark.parametrize("n,k", [(8, 2), (16, 4), (32, 4), (64, 8)])
+    def test_sorts(self, n, k, rng):
+        for _ in range(40):
+            x = random_k_sorted(n, k, rng)
+            out = kway_merge_behavioral(x, k)
+            assert is_sorted_binary(out)
+            assert out.sum() == x.sum()
+
+    def test_matches_clocked_merger(self, rng):
+        m = KWayMuxMerger(32, 4)
+        for _ in range(25):
+            x = random_k_sorted(32, 4, rng)
+            hw, _, _ = m.merge(x)
+            assert np.array_equal(hw, kway_merge_behavioral(x, 4))
+
+
+class TestFishBehavioral:
+    @pytest.mark.parametrize("n", [16, 64, 128])
+    def test_sorts(self, n, rng):
+        for _ in range(25):
+            x = rng.integers(0, 2, n).astype(np.uint8)
+            assert np.array_equal(fish_sort_behavioral(x), np.sort(x))
+
+    def test_matches_netlist_fish(self, rng):
+        fs = FishSorter(64)
+        for _ in range(15):
+            x = rng.integers(0, 2, 64).astype(np.uint8)
+            hw, _ = fs.sort(x)
+            assert np.array_equal(hw, fish_sort_behavioral(x, fs.k))
+
+    def test_explicit_k(self, rng):
+        x = rng.integers(0, 2, 64).astype(np.uint8)
+        for k in (2, 4, 8):
+            assert np.array_equal(fish_sort_behavioral(x, k), np.sort(x))
+
+
+class TestFishTimeModel:
+    def test_measured_within_constant_of_model(self):
+        """eqs. 22/25 shape check: measured/model ratio stays in a band
+        across sizes for both modes."""
+        ratios_seq, ratios_pipe = [], []
+        for n in (64, 256, 1024):
+            fs = FishSorter(n)
+            x = np.zeros(n, dtype=np.uint8)
+            _, rep_s = fs.sort(x)
+            _, rep_p = fs.sort(x, pipelined=True)
+            ratios_seq.append(rep_s.sorting_time / fish_time_model(n, fs.k))
+            ratios_pipe.append(
+                rep_p.sorting_time / fish_time_model(n, fs.k, pipelined=True)
+            )
+        for ratios in (ratios_seq, ratios_pipe):
+            assert max(ratios) / min(ratios) < 2.0
+
+    def test_pipelined_model_smaller(self):
+        for n, k in [(256, 8), (1024, 8)]:
+            assert fish_time_model(n, k, True) < fish_time_model(n, k, False)
+
+    def test_model_orders(self):
+        import math
+
+        # unpipelined ~ lg^3 n at k = lg n; pipelined ~ lg^2 n
+        n = 2 ** 16
+        k = 16
+        assert fish_time_model(n, k) / math.log2(n) ** 3 < 2
+        assert fish_time_model(n, k, True) / math.log2(n) ** 2 < 3
+
+
+class TestCliModes:
+    def test_claims_mode(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--claims"]) == 0
+        out = capsys.readouterr().out
+        assert "claims verified" in out
+        assert "[PASS]" in out and "[FAIL]" not in out
+
+    def test_models_mode(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--models"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "fish" in out

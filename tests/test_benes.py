@@ -1,0 +1,76 @@
+"""Unit tests for the Benes network baseline."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.networks.benes import BenesNetwork, benes_depth, benes_switch_count
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_switch_count(self, n):
+        assert BenesNetwork(n).cost() == benes_switch_count(n)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_depth(self, n):
+        assert BenesNetwork(n).depth() == benes_depth(n)
+
+    def test_formulas(self):
+        assert benes_switch_count(8) == 8 * 3 - 4
+        assert benes_depth(8) == 5
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(6)
+
+
+class TestRouting:
+    def test_all_permutations_n4(self):
+        bn = BenesNetwork(4)
+        pays = np.arange(4, dtype=np.int64) + 1
+        for perm in itertools.permutations(range(4)):
+            out = bn.permute(perm, pays)
+            assert all(out[perm[i]] == pays[i] for i in range(4))
+
+    def test_all_permutations_n8_sampled(self, rng):
+        bn = BenesNetwork(8)
+        pays = np.arange(8, dtype=np.int64)
+        perms = list(itertools.permutations(range(8)))
+        for idx in rng.integers(0, len(perms), 200):
+            perm = perms[idx]
+            out = bn.permute(perm, pays)
+            assert all(out[perm[i]] == pays[i] for i in range(8))
+
+    @pytest.mark.parametrize("n", [16, 32, 128])
+    def test_random_perms_large(self, n, rng):
+        bn = BenesNetwork(n)
+        pays = np.arange(n, dtype=np.int64)
+        for _ in range(10):
+            perm = rng.permutation(n)
+            out = bn.permute(perm, pays)
+            assert all(out[perm[i]] == pays[i] for i in range(n))
+
+    def test_identity_and_reversal(self):
+        bn = BenesNetwork(8)
+        pays = np.arange(8, dtype=np.int64)
+        assert np.array_equal(bn.permute(list(range(8)), pays), pays)
+        rev = list(reversed(range(8)))
+        out = bn.permute(rev, pays)
+        assert np.array_equal(out, pays[::-1])
+
+    def test_settings_length(self):
+        bn = BenesNetwork(16)
+        assert len(bn.route(list(range(16)))) == benes_switch_count(16)
+
+    def test_invalid_perm_rejected(self):
+        bn = BenesNetwork(4)
+        with pytest.raises(ValueError):
+            bn.route([0, 0, 1, 2])
+        with pytest.raises(ValueError):
+            bn.permute([0, 1, 2, 3], np.arange(3))
+
+    def test_models(self):
+        assert BenesNetwork.bit_level_cost_model(1024) == 1024 * 100
+        assert BenesNetwork.parallel_routing_time_model(1024) > 0

@@ -1,0 +1,170 @@
+"""Unit tests for the CircuitBuilder DSL."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder, exhaustive_inputs, simulate
+
+
+def _truth(build_fn, n_inputs):
+    b = CircuitBuilder()
+    ws = b.add_inputs(n_inputs)
+    out = build_fn(b, ws)
+    net = b.build([out])
+    return simulate(net, exhaustive_inputs(n_inputs))[:, 0].tolist()
+
+
+class TestGates:
+    def test_not(self):
+        assert _truth(lambda b, w: b.not_(w[0]), 1) == [1, 0]
+
+    def test_and(self):
+        assert _truth(lambda b, w: b.and_(*w), 2) == [0, 0, 0, 1]
+
+    def test_or(self):
+        assert _truth(lambda b, w: b.or_(*w), 2) == [0, 1, 1, 1]
+
+    def test_xor(self):
+        assert _truth(lambda b, w: b.xor(*w), 2) == [0, 1, 1, 0]
+
+    def test_nand(self):
+        assert _truth(lambda b, w: b.nand(*w), 2) == [1, 1, 1, 0]
+
+    def test_nor(self):
+        assert _truth(lambda b, w: b.nor(*w), 2) == [1, 0, 0, 0]
+
+    def test_xnor(self):
+        assert _truth(lambda b, w: b.xnor(*w), 2) == [1, 0, 0, 1]
+
+    def test_buf_identity(self):
+        assert _truth(lambda b, w: b.buf(w[0]), 1) == [0, 1]
+
+
+class TestTrees:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 8])
+    def test_and_tree(self, width):
+        b = CircuitBuilder()
+        ws = b.add_inputs(width)
+        net = b.build([b.and_tree(ws)])
+        inp = exhaustive_inputs(width)
+        out = simulate(net, inp)[:, 0]
+        assert np.array_equal(out, inp.min(axis=1))
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 8])
+    def test_or_tree(self, width):
+        b = CircuitBuilder()
+        ws = b.add_inputs(width)
+        net = b.build([b.or_tree(ws)])
+        inp = exhaustive_inputs(width)
+        out = simulate(net, inp)[:, 0]
+        assert np.array_equal(out, inp.max(axis=1))
+
+    def test_tree_depth_is_logarithmic(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(16)
+        net = b.build([b.or_tree(ws)])
+        assert net.depth() == 4
+        assert net.cost() == 15
+
+    def test_empty_tree_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError, match="zero wires"):
+            b.or_tree([])
+
+
+class TestMuxDemuxTrees:
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_mux_tree_selects_each_input(self, m):
+        lg = m.bit_length() - 1
+        b = CircuitBuilder()
+        data = b.add_inputs(m)
+        sel = b.add_inputs(lg)
+        net = b.build([b.mux_tree(data, sel)])
+        for v in range(m):
+            vec = [0] * m
+            vec[v] = 1
+            sel_bits = [(v >> (lg - 1 - i)) & 1 for i in range(lg)]
+            assert simulate(net, [vec + sel_bits])[0, 0] == 1
+
+    def test_mux_tree_cost_m_minus_1(self):
+        b = CircuitBuilder()
+        data = b.add_inputs(8)
+        sel = b.add_inputs(3)
+        net = b.build([b.mux_tree(data, sel)])
+        assert net.cost() == 7  # m - 1 (2,1)-muxes, Fig. 3(a) accounting
+        assert net.depth() == 3  # lg m
+
+    def test_mux_tree_width_mismatch(self):
+        b = CircuitBuilder()
+        data = b.add_inputs(6)
+        sel = b.add_inputs(2)
+        with pytest.raises(ValueError):
+            b.mux_tree(data, sel)
+
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_demux_tree_routes_to_selected(self, m):
+        lg = m.bit_length() - 1
+        b = CircuitBuilder()
+        w = b.add_input()
+        sel = b.add_inputs(lg)
+        net = b.build(b.demux_tree(w, sel))
+        for v in range(m):
+            sel_bits = [(v >> (lg - 1 - i)) & 1 for i in range(lg)]
+            out = simulate(net, [[1] + sel_bits])[0]
+            expect = [0] * m
+            expect[v] = 1
+            assert out.tolist() == expect
+
+    def test_demux_tree_cost(self):
+        b = CircuitBuilder()
+        w = b.add_input()
+        sel = b.add_inputs(3)
+        net = b.build(b.demux_tree(w, sel))
+        assert net.cost() == 7 and net.depth() == 3
+
+
+class TestConstants:
+    def test_const_cached(self):
+        b = CircuitBuilder()
+        assert b.const(1) == b.const(1)
+        assert b.const(0) != b.const(1)
+
+    def test_const_value(self):
+        b = CircuitBuilder()
+        x = b.add_input()
+        net = b.build([b.and_(x, b.const(1)), b.or_(x, b.const(0))])
+        assert simulate(net, [[1]]).tolist() == [[1, 1]]
+        assert simulate(net, [[0]]).tolist() == [[0, 0]]
+
+    def test_const_rejects_non_bit(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            b.const(2)
+
+
+class TestSwitches:
+    def test_switch2_semantics(self):
+        b = CircuitBuilder()
+        x, y, c = b.add_inputs(3)
+        o = b.switch2(x, y, c)
+        net = b.build(list(o))
+        assert simulate(net, [[1, 0, 0]]).tolist() == [[1, 0]]  # straight
+        assert simulate(net, [[1, 0, 1]]).tolist() == [[0, 1]]  # crossed
+
+    def test_switch4_applies_selected_perm(self):
+        perms = ((0, 1, 2, 3), (1, 2, 3, 0), (3, 2, 1, 0), (2, 3, 0, 1))
+        b = CircuitBuilder()
+        data = b.add_inputs(4)
+        s1, s0 = b.add_inputs(2)
+        net = b.build(list(b.switch4(data, s1, s0, perms)))
+        vec = [1, 0, 0, 1]
+        for sel in range(4):
+            out = simulate(net, [vec + [(sel >> 1) & 1, sel & 1]])[0]
+            assert out.tolist() == [vec[perms[sel][i]] for i in range(4)]
+
+    def test_switch4_wrong_data_width(self):
+        b = CircuitBuilder()
+        data = b.add_inputs(3)
+        s1, s0 = b.add_inputs(2)
+        with pytest.raises(ValueError, match="4 data wires"):
+            b.switch4(data, s1, s0, ((0, 1, 2, 3),) * 4)

@@ -1,0 +1,154 @@
+"""Unit tests for bundle-carrying networks (word-level switching)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder, simulate
+from repro.networks.carrying import (
+    SelfRoutingPermuter,
+    build_carrying_sorter,
+    build_self_routing_permuter,
+    bundle_comparator,
+)
+
+
+class TestBundleComparator:
+    def _net(self, width):
+        b = CircuitBuilder()
+        tag_a = b.add_input()
+        bus_a = b.add_inputs(width)
+        tag_b = b.add_input()
+        bus_b = b.add_inputs(width)
+        lo, bus_lo, hi, bus_hi = bundle_comparator(b, tag_a, bus_a, tag_b, bus_b)
+        return b.build([lo, *bus_lo, hi, *bus_hi])
+
+    def test_swaps_bus_with_tags(self):
+        net = self._net(2)
+        # tag_a=1 bus_a=10, tag_b=0 bus_b=01 -> swap
+        out = simulate(net, [[1, 1, 0, 0, 0, 1]])[0]
+        assert out.tolist() == [0, 0, 1, 1, 1, 0]
+
+    def test_ordered_passes_straight(self):
+        net = self._net(2)
+        out = simulate(net, [[0, 1, 0, 1, 0, 1]])[0]
+        assert out.tolist() == [0, 1, 0, 1, 0, 1]
+
+    def test_ties_pass_straight(self):
+        net = self._net(1)
+        for t in (0, 1):
+            out = simulate(net, [[t, 1, t, 0]])[0]
+            assert out.tolist() == [t, 1, t, 0]
+
+    def test_cost(self):
+        # 1 comparator + AND + NOT + B switches
+        net = self._net(4)
+        assert net.cost() == 1 + 2 + 4
+        assert net.depth() == 3  # tag gates feed the switches
+
+    def test_width_mismatch(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError):
+            bundle_comparator(
+                b, b.add_input(), b.add_inputs(2), b.add_input(), b.add_inputs(3)
+            )
+
+
+class TestCarryingSorter:
+    @pytest.mark.parametrize("n,width", [(4, 2), (8, 3), (16, 2)])
+    def test_sorts_tags_and_carries_bus(self, n, width, rng):
+        net = build_carrying_sorter(n, width)
+        stride = width + 1
+        for _ in range(30):
+            tags = rng.integers(0, 2, n)
+            buses = rng.integers(0, 1 << width, n)
+            vec = []
+            for t, v in zip(tags, buses):
+                vec.append(int(t))
+                vec.extend([(int(v) >> j) & 1 for j in range(width - 1, -1, -1)])
+            out = simulate(net, [vec])[0]
+            out_tags = [int(out[i * stride]) for i in range(n)]
+            out_buses = [
+                int("".join(map(str, out[i * stride + 1 : (i + 1) * stride])), 2)
+                for i in range(n)
+            ]
+            assert out_tags == sorted(tags.tolist())
+            assert sorted(out_buses) == sorted(buses.tolist())
+            # tag-consistency: every bus value still paired with its tag
+            pairs = sorted(zip(tags.tolist(), buses.tolist()))
+            assert sorted(zip(out_tags, out_buses)) == pairs
+
+    def test_zero_width_bus_equals_plain_sorter(self):
+        from repro.core import build_mux_merger_sorter
+
+        plain = build_mux_merger_sorter(8)
+        carrying = build_carrying_sorter(8, 0)
+        assert carrying.cost() == plain.cost()
+
+    def test_cost_scales_with_bus_width(self):
+        c0 = build_carrying_sorter(16, 0).cost()
+        c4 = build_carrying_sorter(16, 4).cost()
+        c8 = build_carrying_sorter(16, 8).cost()
+        # each extra lane adds the same switching increment
+        assert (c8 - c4) == pytest.approx(2 * (c4 - c0) / 2, rel=0.25)
+        assert c8 > c4 > c0
+
+
+class TestSelfRoutingPermuter:
+    def test_all_permutations_n4(self):
+        sp = SelfRoutingPermuter.create(4)
+        for perm in itertools.permutations(range(4)):
+            assert sp.permute(list(perm)).tolist() == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_random_permutations(self, n, rng):
+        sp = SelfRoutingPermuter.create(n)
+        for _ in range(10):
+            perm = rng.permutation(n)
+            assert sp.permute(perm).tolist() == list(range(n))
+
+    def test_payload_delivery(self, rng):
+        sp = SelfRoutingPermuter.create(8, payload_width=6)
+        for _ in range(20):
+            perm = rng.permutation(8)
+            pays = rng.integers(0, 64, 8)
+            res = sp.permute(perm, pays)
+            assert all(res[perm[i]] == pays[i] for i in range(8))
+
+    def test_entirely_self_routing(self):
+        """No control inputs beyond the bundles themselves."""
+        net = build_self_routing_permuter(16)
+        assert len(net.inputs) == 16 * 4  # addresses only
+
+    def test_cost_in_n_lg3_class(self):
+        """Table II assigns sorting-network permutation switching
+        O(n lg^3 n) bit-level cost; normalized cost must stay in a
+        narrow band while plain n lg n normalization drifts upward."""
+        import math
+
+        sizes = [8, 16, 32, 64]
+        costs = [build_self_routing_permuter(n).cost() for n in sizes]
+        norm3 = [c / (n * math.log2(n) ** 3) for c, n in zip(costs, sizes)]
+        norm1 = [c / (n * math.log2(n)) for c, n in zip(costs, sizes)]
+        assert max(norm3) / min(norm3) < 1.8  # bounded constant
+        assert norm1[-1] / norm1[0] > 3.0  # clearly not O(n lg n)
+
+    def test_invalid_perm(self):
+        sp = SelfRoutingPermuter.create(4)
+        with pytest.raises(ValueError):
+            sp.permute([0, 0, 1, 2])
+
+    def test_matches_interpreter_permuter(self, rng):
+        """The physical netlist agrees with the payload-interpreter
+        radix permuter on every routed payload."""
+        from repro.networks.permutation import RadixPermuter
+
+        sp = SelfRoutingPermuter.create(16, payload_width=5)
+        rp = RadixPermuter(16, backend="mux_merger")
+        for _ in range(10):
+            perm = rng.permutation(16)
+            pays = rng.integers(0, 32, 16).astype(np.int64)
+            hw = sp.permute(perm, pays)
+            sw, _ = rp.permute(perm, pays)
+            assert np.array_equal(hw, sw)

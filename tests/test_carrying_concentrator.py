@@ -1,0 +1,67 @@
+"""Tests for the hardware concentrator and cycle-accurate fish sorting."""
+
+import numpy as np
+import pytest
+
+from repro.core.fish_sorter import FishSorter
+from repro.networks.carrying import CarryingConcentrator
+
+
+class TestCarryingConcentrator:
+    def test_all_masks_n8(self):
+        cc = CarryingConcentrator(8, payload_width=4)
+        pays = np.arange(8, dtype=np.int64)
+        for mask in range(256):
+            req = np.array([(mask >> (7 - i)) & 1 for i in range(8)], dtype=np.uint8)
+            granted = cc.concentrate(req, pays)
+            wanted = sorted(int(p) for p, r in zip(pays, req) if r)
+            assert sorted(granted) == wanted, (mask, granted)
+
+    def test_grants_contiguous_from_top(self, rng):
+        cc = CarryingConcentrator(16, payload_width=5)
+        pays = rng.integers(0, 32, 16).astype(np.int64)
+        req = np.zeros(16, dtype=np.uint8)
+        req[[2, 9, 13]] = 1
+        granted = cc.concentrate(req, pays)
+        assert len(granted) == 3
+        assert sorted(granted) == sorted(int(pays[i]) for i in (2, 9, 13))
+
+    def test_no_requests(self):
+        cc = CarryingConcentrator(8, payload_width=3)
+        assert cc.concentrate(np.zeros(8, dtype=np.uint8), np.arange(8)) == []
+
+    def test_all_request(self):
+        cc = CarryingConcentrator(8, payload_width=3)
+        granted = cc.concentrate(np.ones(8, dtype=np.uint8), np.arange(8))
+        assert sorted(granted) == list(range(8))
+
+    def test_cost_depth_exposed(self):
+        cc = CarryingConcentrator(8, payload_width=4)
+        assert cc.cost() > 0 and cc.depth() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CarryingConcentrator(8, payload_width=0)
+        cc = CarryingConcentrator(8, payload_width=2)
+        with pytest.raises(ValueError):
+            cc.concentrate(np.zeros(4, dtype=np.uint8), np.arange(8))
+
+
+class TestCycleAccurateFish:
+    @pytest.mark.parametrize("n", [16, 64])
+    def test_matches_pipelined_sort(self, n, rng):
+        fs = FishSorter(n)
+        for _ in range(8):
+            x = rng.integers(0, 2, n).astype(np.uint8)
+            algebraic, rep_a = fs.sort(x, pipelined=True)
+            measured, rep_m = fs.sort_cycle_accurate(x)
+            assert np.array_equal(algebraic, measured)
+            # the register machine's measured makespan equals the
+            # algebraic accounting
+            assert rep_m.phase1_time == rep_a.phase1_time
+            assert rep_m.sorting_time == rep_a.sorting_time
+
+    def test_wrong_length_rejected(self):
+        fs = FishSorter(16)
+        with pytest.raises(ValueError):
+            fs.sort_cycle_accurate(np.zeros(8, dtype=np.uint8))

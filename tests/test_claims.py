@@ -1,0 +1,27 @@
+"""Run the full claims ledger — one test per paper claim."""
+
+import pytest
+
+from repro.analysis.claims import CLAIMS, run_all
+
+
+@pytest.mark.parametrize("claim", CLAIMS, ids=[c.id for c in CLAIMS])
+def test_claim(claim):
+    ok, evidence = claim.check()
+    assert ok, f"{claim.id} ({claim.section}): {claim.statement} — {evidence}"
+
+
+def test_ledger_ids_unique():
+    ids = [c.id for c in CLAIMS]
+    assert len(ids) == len(set(ids))
+
+
+def test_every_claim_cites_a_section():
+    assert all(c.section for c in CLAIMS)
+    assert all(c.statement for c in CLAIMS)
+
+
+def test_run_all_shape():
+    results = run_all()
+    assert set(results) == {c.id for c in CLAIMS}
+    assert all(isinstance(ev, str) and ev for _, ev in results.values())

@@ -1,0 +1,116 @@
+"""Direct unit tests for comparator stages and remaining edge paths."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder, PipelinedNetlist, simulate
+from repro.components import (
+    adjacent_comparator_stage,
+    half_distance_comparator_stage,
+)
+from repro.core.fish_sorter import FishSorter
+from repro.networks.permutation import FISH_MIN_SIZE, RadixPermuter
+
+
+class TestComparatorStages:
+    def test_adjacent_pairs(self, rng):
+        b = CircuitBuilder()
+        ws = b.add_inputs(8)
+        net = b.build(adjacent_comparator_stage(b, ws))
+        for _ in range(30):
+            x = rng.integers(0, 2, 8)
+            out = simulate(net, [x.tolist()])[0]
+            for i in range(0, 8, 2):
+                assert out[i] == min(x[i], x[i + 1])
+                assert out[i + 1] == max(x[i], x[i + 1])
+
+    def test_half_distance_pairs(self, rng):
+        b = CircuitBuilder()
+        ws = b.add_inputs(8)
+        net = b.build(half_distance_comparator_stage(b, ws))
+        for _ in range(30):
+            x = rng.integers(0, 2, 8)
+            out = simulate(net, [x.tolist()])[0]
+            for i in range(4):
+                assert out[i] == min(x[i], x[i + 4])
+                assert out[i + 4] == max(x[i], x[i + 4])
+
+    def test_odd_width_rejected(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(5)
+        with pytest.raises(ValueError):
+            adjacent_comparator_stage(b, ws)
+        with pytest.raises(ValueError):
+            half_distance_comparator_stage(b, ws)
+
+    def test_stage_cost(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(16)
+        net = b.build(adjacent_comparator_stage(b, ws))
+        assert net.cost() == 8 and net.depth() == 1
+
+
+class TestRadixPermuterInternals:
+    def test_fish_min_size_fallback(self):
+        """Below FISH_MIN_SIZE the fish backend's small levels fall back
+        to combinational distributors."""
+        rp = RadixPermuter(16, backend="fish")
+        assert any(m >= FISH_MIN_SIZE for m in rp._fish)
+        assert all(m < FISH_MIN_SIZE for m in rp._combinational)
+
+    def test_level_sizes(self):
+        rp = RadixPermuter(16, backend="mux_merger")
+        assert rp._level_sizes() == [16, 8, 4, 2]
+
+    def test_distributor_time_positive_monotone(self):
+        rp = RadixPermuter(32, backend="mux_merger")
+        times = [rp.distributor_time(m) for m in rp._level_sizes()]
+        assert times == sorted(times, reverse=True)
+        assert all(t > 0 for t in times)
+
+    def test_report_fields(self, rng):
+        rp = RadixPermuter(8, backend="prefix")
+        _, rep = rp.permute(list(rng.permutation(8)), np.arange(8))
+        assert rep.n == 8 and rep.backend == "prefix"
+        assert rep.distributor_levels == 3
+
+
+class TestMoreEdges:
+    def test_pipelined_netlist_zero_latency(self):
+        b = CircuitBuilder()
+        x = b.add_input()
+        net = b.build([b.buf(x)])  # pure wire, depth 0
+        pl = PipelinedNetlist(net)
+        assert pl.latency == 0
+        outs, makespan = pl.run([[1], [0]])
+        assert outs == [[1], [0]]
+        assert makespan == 1  # 2 tokens, 0 latency
+
+    def test_circuit_stats_str(self):
+        from repro.core import build_mux_merger_sorter
+
+        st = build_mux_merger_sorter(8).stats()
+        text = str(st)
+        assert "cost=" in text and "COMPARATOR" in text
+
+    def test_fish_inventory_labels(self):
+        fs = FishSorter(64)
+        labels = [p.label for p in fs.inventory()]
+        assert any("(n,n/k)-mux" in l for l in labels)
+        assert any("group-sorter" in l for l in labels)
+        assert any("k-swap" in l for l in labels)
+        assert any("two-way-mux-merger" in l for l in labels)
+        assert any("base-sorter" in l for l in labels)
+
+    def test_netlist_repr(self):
+        from repro.core import build_mux_merger_sorter
+
+        assert "mux-merger-sorter-8" in repr(build_mux_merger_sorter(8))
+
+    def test_payload_sim_rejects_non_binary_tags(self):
+        from repro.circuits import simulate_payload
+        from repro.core import build_mux_merger_sorter
+
+        net = build_mux_merger_sorter(4)
+        with pytest.raises(ValueError):
+            simulate_payload(net, [[0, 1, 2, 0]], [[1, 2, 3, 4]])

@@ -1,0 +1,153 @@
+"""Unit tests for concentrators (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.networks.concentrator import (
+    ConcentrationResult,
+    FishConcentrator,
+    SortingConcentrator,
+    check_concentration,
+)
+
+
+class TestSortingConcentrator:
+    @pytest.mark.parametrize("backend", ["mux_merger", "prefix"])
+    def test_all_request_masks_n8(self, backend):
+        c = SortingConcentrator(8, sorter=backend)
+        pays = np.arange(8, dtype=np.int64) + 10
+        for mask in range(256):
+            req = np.array([(mask >> (7 - i)) & 1 for i in range(8)], dtype=np.uint8)
+            res = c.concentrate(req, pays)
+            assert check_concentration(req, pays, res)
+
+    def test_granted_in_first_r_outputs(self, rng):
+        c = SortingConcentrator(16)
+        pays = rng.integers(100, 200, 16).astype(np.int64)
+        req = np.zeros(16, dtype=np.uint8)
+        req[[3, 7, 11]] = 1
+        res = c.concentrate(req, pays)
+        assert res.count == 3
+        assert set(res.granted.tolist()) == set(pays[[3, 7, 11]].tolist())
+
+    def test_capacity_enforced(self):
+        c = SortingConcentrator(8, m=2)
+        req = np.ones(8, dtype=np.uint8)
+        with pytest.raises(ValueError, match="exceed capacity"):
+            c.concentrate(req, np.arange(8))
+
+    def test_m_up_to_capacity_allowed(self):
+        c = SortingConcentrator(8, m=3)
+        req = np.zeros(8, dtype=np.uint8)
+        req[:3] = 1
+        res = c.concentrate(req, np.arange(8))
+        assert res.count == 3
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            SortingConcentrator(8, m=0)
+        with pytest.raises(ValueError):
+            SortingConcentrator(8, m=9)
+
+    def test_invalid_request_mask(self):
+        c = SortingConcentrator(8)
+        with pytest.raises(ValueError):
+            c.concentrate([0, 1, 2, 0, 0, 0, 0, 0], np.arange(8))
+
+    def test_wrong_lengths(self):
+        c = SortingConcentrator(8)
+        with pytest.raises(ValueError):
+            c.concentrate(np.zeros(4, dtype=np.uint8), np.arange(8))
+
+    def test_custom_netlist_backend(self):
+        from repro.core import build_prefix_sorter
+
+        c = SortingConcentrator(8, sorter=build_prefix_sorter(8))
+        req = np.array([1, 0, 1, 0, 0, 0, 0, 1], dtype=np.uint8)
+        res = c.concentrate(req, np.arange(8))
+        assert check_concentration(req, np.arange(8), res)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            SortingConcentrator(8, sorter="quicksort")
+
+    def test_cost_depth_exposed(self):
+        c = SortingConcentrator(16)
+        assert c.cost() > 0 and c.depth() > 0
+
+
+class TestFishConcentrator:
+    def test_concentrates(self, rng):
+        fc = FishConcentrator(32)
+        pays = np.arange(32, dtype=np.int64)
+        for _ in range(15):
+            req = rng.integers(0, 2, 32).astype(np.uint8)
+            res, report = fc.concentrate(req, pays)
+            assert check_concentration(req, pays, res)
+            assert report.sorting_time > 0
+
+    def test_cost_linear_vs_combinational(self):
+        # Section IV: the fish concentrator is the O(n)-cost one
+        n = 512
+        fish = FishConcentrator(n).cost()
+        comb = SortingConcentrator(n).cost()
+        assert fish < comb
+
+    def test_pipelined_flag(self):
+        fc = FishConcentrator(32)
+        req = np.zeros(32, dtype=np.uint8)
+        req[5] = 1
+        _, rep_pipe = fc.concentrate(req, np.arange(32), pipelined=True)
+        _, rep_seq = fc.concentrate(req, np.arange(32), pipelined=False)
+        assert rep_pipe.sorting_time < rep_seq.sorting_time
+
+
+class TestOutputVector:
+    def test_outputs_idle_markers(self, rng):
+        from repro.networks.concentrator import IDLE
+
+        c = SortingConcentrator(8)
+        req = np.array([0, 1, 0, 0, 1, 0, 0, 0], dtype=np.uint8)
+        pays = np.arange(8, dtype=np.int64) + 30
+        res = c.concentrate(req, pays)
+        assert res.outputs is not None and res.outputs.size == 8
+        assert set(res.outputs[:2].tolist()) == {31, 34}
+        assert all(v == IDLE for v in res.outputs[2:])
+
+    def test_truncated_outputs_length_m(self):
+        c = SortingConcentrator(8, m=3)
+        req = np.zeros(8, dtype=np.uint8)
+        req[0] = 1
+        res = c.concentrate(req, np.arange(8))
+        assert res.outputs.size == 3
+
+    def test_fish_outputs(self, rng):
+        from repro.networks.concentrator import IDLE
+
+        fc = FishConcentrator(32)
+        req = np.zeros(32, dtype=np.uint8)
+        req[[1, 2, 3]] = 1
+        res, _ = fc.concentrate(req, np.arange(32, dtype=np.int64))
+        assert res.outputs.size == 32
+        assert sorted(res.outputs[:3].tolist()) == [1, 2, 3]
+        assert all(v == IDLE for v in res.outputs[3:])
+
+
+class TestCheckConcentration:
+    def test_detects_wrong_payload(self):
+        req = np.array([1, 0, 0, 0], dtype=np.uint8)
+        pays = np.array([5, 6, 7, 8], dtype=np.int64)
+        bad = ConcentrationResult(granted=np.array([6]), count=1)
+        assert not check_concentration(req, pays, bad)
+
+    def test_detects_wrong_count(self):
+        req = np.array([1, 1, 0, 0], dtype=np.uint8)
+        pays = np.array([5, 6, 7, 8], dtype=np.int64)
+        bad = ConcentrationResult(granted=np.array([5]), count=1)
+        assert not check_concentration(req, pays, bad)
+
+    def test_accepts_any_order(self):
+        req = np.array([1, 1, 0, 0], dtype=np.uint8)
+        pays = np.array([5, 6, 7, 8], dtype=np.int64)
+        ok = ConcentrationResult(granted=np.array([6, 5]), count=2)
+        assert check_concentration(req, pays, ok)

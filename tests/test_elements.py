@@ -1,0 +1,64 @@
+"""Unit tests for repro.circuits.elements."""
+
+import pytest
+
+from repro.circuits import elements as el
+from repro.circuits.elements import ELEMENT_META, Element
+
+
+class TestMetadata:
+    def test_unit_cost_elements(self):
+        # paper Section II: these four are the unit-cost accounting atoms
+        for kind in (el.COMPARATOR, el.SWITCH2, el.MUX2, el.DEMUX2):
+            assert ELEMENT_META[kind].cost == 1
+            assert ELEMENT_META[kind].depth == 1
+
+    def test_switch4_is_four_switch2(self):
+        # "normalized to the number of 2x2 switches" (footnote 4)
+        assert ELEMENT_META[el.SWITCH4].cost == 4
+        assert ELEMENT_META[el.SWITCH4].depth == 1
+
+    def test_gates_unit_cost(self):
+        for kind in (el.NOT, el.AND, el.OR, el.XOR, el.NAND, el.NOR, el.XNOR):
+            assert ELEMENT_META[kind].cost == 1
+            assert ELEMENT_META[kind].depth == 1
+
+    def test_buffer_is_free(self):
+        assert ELEMENT_META[el.BUF].cost == 0
+        assert ELEMENT_META[el.BUF].depth == 0
+
+    def test_arity_table(self):
+        assert ELEMENT_META[el.COMPARATOR].n_inputs == 2
+        assert ELEMENT_META[el.COMPARATOR].n_outputs == 2
+        assert ELEMENT_META[el.SWITCH2].n_inputs == 3  # a, b, control
+        assert ELEMENT_META[el.SWITCH4].n_inputs == 6  # 4 data + 2 select
+        assert ELEMENT_META[el.MUX2].n_inputs == 3
+        assert ELEMENT_META[el.DEMUX2].n_outputs == 2
+
+
+class TestValidation:
+    def test_wrong_input_arity_rejected(self):
+        e = Element(el.AND, (0,), (1,), None)
+        with pytest.raises(ValueError, match="expects 2 inputs"):
+            e.validate()
+
+    def test_wrong_output_arity_rejected(self):
+        e = Element(el.COMPARATOR, (0, 1), (2,), None)
+        with pytest.raises(ValueError, match="expects 2 outputs"):
+            e.validate()
+
+    def test_switch4_requires_table(self):
+        e = Element(el.SWITCH4, (0, 1, 2, 3, 4, 5), (6, 7, 8, 9), None)
+        with pytest.raises(ValueError, match="permutation table"):
+            e.validate()
+
+    def test_switch4_rejects_non_permutation(self):
+        bad = ((0, 1, 2, 3), (0, 0, 2, 3), (0, 1, 2, 3), (0, 1, 2, 3))
+        e = Element(el.SWITCH4, (0, 1, 2, 3, 4, 5), (6, 7, 8, 9), bad)
+        with pytest.raises(ValueError, match="invalid 4x4 permutation"):
+            e.validate()
+
+    def test_valid_element_passes(self):
+        e = Element(el.XOR, (0, 1), (2,), None)
+        e.validate()
+        assert e.cost == 1 and e.depth == 1

@@ -1,0 +1,102 @@
+"""Unit tests for the statistical-multiplexer application."""
+
+import numpy as np
+import pytest
+
+from repro.networks.fabric import MuxStats, Packet, StatisticalMultiplexer
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StatisticalMultiplexer(16, 0)
+        with pytest.raises(ValueError):
+            StatisticalMultiplexer(16, 17)
+        with pytest.raises(ValueError):
+            StatisticalMultiplexer(16, 8, queue_capacity=0)
+
+    def test_backends(self):
+        for backend in ("mux_merger", "prefix", "fish"):
+            mux = StatisticalMultiplexer(16, 8, backend=backend)
+            assert mux.fabric_cost > 0
+
+
+class TestStep:
+    def test_single_packet_forwarded(self):
+        mux = StatisticalMultiplexer(8, 4)
+        stats = MuxStats()
+        arrivals = np.zeros(8, dtype=np.uint8)
+        arrivals[3] = 1
+        forwarded = mux.step(arrivals, now=0, stats=stats)
+        stats.cycles = 1
+        assert len(forwarded) == 1
+        assert stats.forwarded == 1 and stats.arrivals == 1
+        assert stats.mean_delay == 0.0
+
+    def test_capacity_limits_per_cycle_grants(self):
+        mux = StatisticalMultiplexer(8, 2)
+        stats = MuxStats()
+        forwarded = mux.step(np.ones(8, dtype=np.uint8), now=0, stats=stats)
+        assert len(forwarded) == 2  # trunk capacity m = 2
+        # the rest stay queued, not dropped
+        assert stats.dropped == 0
+        assert sum(len(q) for q in mux.queues) == 6
+
+    def test_oldest_first_admission(self):
+        mux = StatisticalMultiplexer(4, 1)
+        stats = MuxStats()
+        a = np.array([1, 0, 0, 0], dtype=np.uint8)
+        mux.step(a, now=0, stats=stats)  # input 0's packet arrives t=0... and leaves
+        # refill input 0 at t=1 and input 1 at t=1; input 0 forwarded at t=0
+        mux.step(np.array([1, 1, 0, 0], dtype=np.uint8), now=1, stats=stats)
+        # at t=2, two head packets both arrived t=1: tie broken by index;
+        # but make input 1's head strictly older by delaying:
+        forwarded = mux.step(np.zeros(4, dtype=np.uint8), now=2, stats=stats)
+        assert len(forwarded) == 1
+
+    def test_queue_overflow_drops(self):
+        mux = StatisticalMultiplexer(4, 1, queue_capacity=2)
+        stats = MuxStats()
+        for t in range(6):
+            mux.step(np.array([1, 1, 1, 1], dtype=np.uint8), now=t, stats=stats)
+        assert stats.dropped > 0
+        assert all(len(q) <= 2 for q in mux.queues)
+
+    def test_wrong_arrival_width(self):
+        mux = StatisticalMultiplexer(8, 4)
+        with pytest.raises(ValueError):
+            mux.step(np.zeros(4, dtype=np.uint8), 0, MuxStats())
+
+
+class TestRun:
+    def test_low_load_lossless(self, rng):
+        mux = StatisticalMultiplexer(16, 8)
+        stats = mux.run(100, load=0.2, rng=rng)
+        assert stats.loss_rate == 0.0
+        assert stats.forwarded + stats.backlog == stats.arrivals
+
+    def test_overload_saturates_at_m(self, rng):
+        mux = StatisticalMultiplexer(16, 4, queue_capacity=2)
+        stats = mux.run(100, load=1.0, rng=rng)
+        assert stats.throughput <= 4.0 + 1e-9
+        assert stats.throughput > 3.5  # fully utilized trunks
+        assert stats.loss_rate > 0.3
+
+    def test_conservation(self, rng):
+        mux = StatisticalMultiplexer(8, 4, queue_capacity=4)
+        stats = mux.run(60, load=0.7, rng=rng)
+        assert stats.arrivals == stats.forwarded + stats.dropped + stats.backlog
+
+    def test_fish_backend_agrees_on_throughput(self):
+        a = StatisticalMultiplexer(16, 4, backend="mux_merger")
+        b = StatisticalMultiplexer(16, 4, backend="fish")
+        sa = a.run(40, 0.8, np.random.default_rng(5))
+        sb = b.run(40, 0.8, np.random.default_rng(5))
+        # identical arrival streams + deterministic policy = identical stats
+        assert sa.forwarded == sb.forwarded
+        assert sa.dropped == sb.dropped
+
+    def test_delay_grows_with_load(self, rng):
+        light = StatisticalMultiplexer(16, 4).run(80, 0.15, np.random.default_rng(6))
+        heavy = StatisticalMultiplexer(16, 4).run(80, 0.5, np.random.default_rng(6))
+        assert heavy.mean_delay >= light.mean_delay

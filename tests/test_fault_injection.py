@@ -1,0 +1,118 @@
+"""Fault injection: the verifiers must catch broken networks.
+
+A verification harness is only as good as its sensitivity.  These tests
+mutate known-good netlists — swap a comparator's outputs, flip a swap
+table entry, lie to the steering logic — and assert the exhaustive
+verifier flags every mutant.  (A mutant that survives would mean our
+"sorts everything" evidence was vacuous.)
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.analysis import verify_sorter_exhaustive
+from repro.circuits import Netlist, simulate
+from repro.circuits.elements import Element
+from repro.core import build_mux_merger_sorter, build_prefix_sorter
+from repro.core.mux_merger import IN_SWAP_PERMS, OUT_SWAP_PERMS, build_mux_merger
+
+
+def _mutate_comparator(net: Netlist, idx: int) -> Netlist:
+    """Swap the outputs of the idx-th comparator (min/max exchanged)."""
+    elements = list(net.elements)
+    count = -1
+    for i, e in enumerate(elements):
+        if e.kind == "COMPARATOR":
+            count += 1
+            if count == idx:
+                elements[i] = Element(e.kind, e.ins, (e.outs[1], e.outs[0]), e.params)
+                break
+    else:
+        raise IndexError(idx)
+    return Netlist(
+        net.n_wires, elements, net.inputs, net.outputs, net.constants, net.name
+    )
+
+
+class TestComparatorFaults:
+    @pytest.mark.parametrize("builder", [build_mux_merger_sorter, build_prefix_sorter])
+    def test_every_comparator_is_load_bearing(self, builder):
+        net = builder(8)
+        n_comp = sum(1 for e in net.elements if e.kind == "COMPARATOR")
+        killed = 0
+        for idx in range(n_comp):
+            mutant = _mutate_comparator(net, idx)
+            if not verify_sorter_exhaustive(mutant):
+                killed += 1
+        # a reversed comparator must break sorting (no redundancy in
+        # these minimal constructions)
+        assert killed == n_comp
+
+    def test_mutant_detected_quickly_by_random_check(self, rng):
+        from repro.analysis import verify_netlist_random
+
+        net = build_mux_merger_sorter(32)
+        mutant = _mutate_comparator(net, 3)
+        assert verify_netlist_random(net, trials=64)
+        assert not verify_netlist_random(mutant, trials=256)
+
+
+class TestSwapTableFaults:
+    def test_wrong_in_swap_case_breaks_merging(self):
+        # misroute case 01 to case 00's pattern
+        bad_in = (IN_SWAP_PERMS[0], IN_SWAP_PERMS[0]) + IN_SWAP_PERMS[2:]
+        net = build_mux_merger(16, bad_in, OUT_SWAP_PERMS)
+        from repro.core import sequences as seq
+
+        broke = False
+        for zu in range(9):
+            for zl in range(9):
+                x = np.concatenate(
+                    [seq.sorted_sequence(8, zu), seq.sorted_sequence(8, zl)]
+                )
+                out = simulate(net, x[None, :])[0]
+                if not seq.is_sorted_binary(out):
+                    broke = True
+        assert broke
+
+    def test_wrong_out_swap_case_breaks_merging(self):
+        bad_out = OUT_SWAP_PERMS[:3] + (OUT_SWAP_PERMS[0],)
+        net = build_mux_merger(16, IN_SWAP_PERMS, bad_out)
+        from repro.core import sequences as seq
+
+        broke = False
+        for zu in range(9):
+            for zl in range(9):
+                x = np.concatenate(
+                    [seq.sorted_sequence(8, zu), seq.sorted_sequence(8, zl)]
+                )
+                out = simulate(net, x[None, :])[0]
+                if not seq.is_sorted_binary(out):
+                    broke = True
+        assert broke
+
+
+class TestStructuralFaults:
+    def test_dropped_output_rewire_detected(self):
+        # permute two outputs of a correct sorter: still a bijection of
+        # wires, but no longer a sorter
+        net = build_mux_merger_sorter(8)
+        outs = list(net.outputs)
+        outs[0], outs[4] = outs[4], outs[0]
+        mutant = Netlist(
+            net.n_wires, net.elements, net.inputs, outs, net.constants
+        )
+        assert not verify_sorter_exhaustive(mutant)
+
+    def test_input_permutation_harmless(self):
+        # permuting *inputs* of a sorter keeps it a sorter — the verifier
+        # must NOT flag this (sanity check against over-sensitivity)
+        net = build_mux_merger_sorter(8)
+        ins = list(net.inputs)
+        ins[0], ins[5] = ins[5], ins[0]
+        variant = Netlist(
+            net.n_wires, net.elements, ins, net.outputs, net.constants
+        )
+        assert verify_sorter_exhaustive(variant)

@@ -1,0 +1,136 @@
+"""Unit tests for Network 3 — the fish binary sorter (Fig. 7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import sequences as seq
+from repro.core.fish_sorter import FishSorter, default_k
+
+
+class TestCorrectness:
+    def test_exhaustive_n8(self):
+        fs = FishSorter(8, k=2)
+        for v in range(256):
+            x = np.array([(v >> (7 - i)) & 1 for i in range(8)], dtype=np.uint8)
+            out, _ = fs.sort(x)
+            assert seq.is_sorted_binary(out)
+            assert out.sum() == x.sum()
+
+    @pytest.mark.parametrize("n,k", [(16, 2), (16, 4), (32, 4), (64, 8), (128, 4)])
+    def test_random(self, n, k, rng):
+        fs = FishSorter(n, k)
+        for _ in range(30):
+            x = rng.integers(0, 2, n).astype(np.uint8)
+            out, _ = fs.sort(x)
+            assert np.array_equal(out, np.sort(x))
+
+    def test_corner_cases(self):
+        fs = FishSorter(64)
+        for x in (np.zeros(64), np.ones(64)):
+            out, _ = fs.sort(x.astype(np.uint8))
+            assert np.array_equal(out, np.sort(x))
+        single = np.zeros(64, dtype=np.uint8)
+        single[0] = 1
+        out, _ = fs.sort(single)
+        assert out.tolist() == [0] * 63 + [1]
+
+    def test_pipelined_same_result(self, rng):
+        fs = FishSorter(64)
+        for _ in range(10):
+            x = rng.integers(0, 2, 64).astype(np.uint8)
+            a, _ = fs.sort(x)
+            b, _ = fs.sort(x, pipelined=True)
+            assert np.array_equal(a, b)
+
+    def test_payload_routing(self, rng):
+        fs = FishSorter(32)
+        x = rng.integers(0, 2, 32).astype(np.uint8)
+        pays = np.arange(32, dtype=np.int64)
+        out, out_pays, _ = fs.sort_with_payload(x, pays)
+        assert sorted(out_pays.tolist()) == list(range(32))
+        assert all(x[p] == t for t, p in zip(out, out_pays))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FishSorter(12)
+        with pytest.raises(ValueError):
+            FishSorter(16, k=3)
+        with pytest.raises(ValueError):
+            FishSorter(16, k=16)  # group size 1
+        fs = FishSorter(16)
+        with pytest.raises(ValueError):
+            fs.sort(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            fs.sort_with_payload(
+                np.zeros(16, dtype=np.uint8), np.zeros(4, dtype=np.int64)
+            )
+
+
+class TestDefaultK:
+    def test_tracks_lg_n(self):
+        assert default_k(16) == 4
+        assert default_k(256) == 8
+        assert default_k(1024) == 8  # lg 1024 = 10 -> nearest power of 2 below
+        assert default_k(4096) == 8
+
+    def test_always_valid(self):
+        for p in range(2, 13):
+            n = 1 << p
+            k = default_k(n)
+            assert k >= 2 and k <= n // 2 and (k & (k - 1)) == 0
+
+
+class TestComplexityClaims:
+    def test_cost_below_paper_bound(self):
+        # eq. (17) upper-bounds the cost for every (n, k)
+        for n in (16, 64, 256, 1024):
+            fs = FishSorter(n)
+            assert fs.cost() <= fs.cost_bound_paper()
+
+    def test_cost_linear_in_n(self):
+        # the headline O(n) claim: cost/n stays bounded as n grows
+        ratios = []
+        for n in (256, 512, 1024, 2048):
+            fs = FishSorter(n)
+            ratios.append(fs.cost() / n)
+        assert max(ratios) < 25  # paper's constant is <= 17 plus o(n) terms
+        # and the per-n ratio must not grow like lg n: compare ends
+        assert ratios[-1] < ratios[0] * 1.5
+
+    def test_cost_beats_batcher_increasingly(self):
+        from repro.baselines.batcher import build_odd_even_merge_sorter
+
+        gaps = []
+        for n in (64, 256, 1024):
+            fish = FishSorter(n).cost()
+            batcher = build_odd_even_merge_sorter(n).cost()
+            gaps.append(batcher / fish)
+        assert gaps[0] < gaps[1] < gaps[2]  # O(lg^2 n) improvement factor
+
+    def test_sorting_time_polylog(self):
+        # unpipelined time ~ lg^3 n: time / lg^3 n bounded
+        for n in (64, 256, 1024):
+            fs = FishSorter(n)
+            _, rep = fs.sort(np.zeros(n, dtype=np.uint8))
+            lg = math.log2(n)
+            assert rep.sorting_time <= 6 * lg ** 3
+
+    def test_pipelining_helps_phase1(self):
+        fs = FishSorter(256)
+        x = np.zeros(256, dtype=np.uint8)
+        _, seq_rep = fs.sort(x)
+        _, pipe_rep = fs.sort(x, pipelined=True)
+        assert pipe_rep.phase1_time < seq_rep.phase1_time
+        assert pipe_rep.sorting_time < seq_rep.sorting_time
+
+    def test_report_time_decomposition(self):
+        fs = FishSorter(64)
+        _, rep = fs.sort(np.zeros(64, dtype=np.uint8))
+        assert rep.sorting_time == rep.phase1_time + rep.merge_time
+        assert rep.n == 64 and rep.k == fs.k
+
+    def test_inventory_total(self):
+        fs = FishSorter(128)
+        assert fs.cost() == sum(p.cost for p in fs.inventory())

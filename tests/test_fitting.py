@@ -1,0 +1,60 @@
+"""Unit tests for cost-model fitting."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import fit_cost_model, fit_network_constant
+
+
+class TestFitCostModel:
+    def test_exact_linear(self):
+        sizes = [16, 32, 64, 128]
+        costs = [7 * n for n in sizes]
+        fit = fit_cost_model(sizes, costs, ["n"])
+        assert fit.coefficients["n"] == pytest.approx(7.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.residual_rms == pytest.approx(0.0, abs=1e-9)
+
+    def test_two_term_recovery(self):
+        sizes = [16, 32, 64, 128, 256]
+        costs = [3 * n * math.log2(n) + 5 * n for n in sizes]
+        fit = fit_cost_model(sizes, costs, ["n*lg(n)", "n"])
+        assert fit.coefficients["n*lg(n)"] == pytest.approx(3.0)
+        assert fit.coefficients["n"] == pytest.approx(5.0)
+
+    def test_predict(self):
+        fit = fit_cost_model([2, 4, 8], [4, 8, 16], ["n"])
+        assert fit.predict(16) == pytest.approx(32.0)
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cost_model([16], [100], ["n", "n*lg(n)"])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_cost_model([16, 32], [100], ["n"])
+
+
+class TestNetworkConstants:
+    def test_network1_constant_near_3(self):
+        fit = fit_network_constant(
+            "prefix", [64, 128, 256, 512], "n*lg(n)", ["n", "lg(n)**2"]
+        )
+        assert fit.coefficients["n*lg(n)"] == pytest.approx(3.0, abs=0.4)
+
+    def test_network2_constant_near_4(self):
+        fit = fit_network_constant(
+            "mux_merger", [64, 128, 256, 512], "n*lg(n)", ["n"]
+        )
+        assert fit.coefficients["n*lg(n)"] == pytest.approx(4.0, abs=0.4)
+
+    def test_network3_constant_near_17(self):
+        fit = fit_network_constant(
+            "fish", [64, 128, 256, 512], "n", ["lg(n)**2 * lg(lg(n))"]
+        )
+        assert fit.coefficients["n"] == pytest.approx(17.0, abs=2.5)
+
+    def test_good_fits(self):
+        fit = fit_network_constant("batcher_oem", [64, 128, 256], "n*lg(n)**2", ["n"])
+        assert fit.r_squared > 0.999

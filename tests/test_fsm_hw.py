@@ -1,0 +1,131 @@
+"""Tests for the clocked-circuit layer and the hardware clean sorter."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder
+from repro.circuits.fsm import SequentialCircuit
+from repro.core.hw_clean_sorter import HardwareCleanSorter
+from repro.core.kway import CleanSorter
+from repro.core.sequences import is_sorted_binary, random_clean_k_sorted
+
+
+def _counter_circuit(width):
+    """A plain binary up-counter (state only, no external in)."""
+    b = CircuitBuilder("counter")
+    state = b.add_inputs(width)
+    carry = b.const(1)
+    nxt = []
+    for bit in state:
+        nxt.append(b.xor(bit, carry))
+        carry = b.and_(bit, carry)
+    net = b.build(nxt + list(state))  # also expose current state
+    return SequentialCircuit(net, n_state=width)
+
+
+class TestSequentialCircuit:
+    def test_counter_counts(self):
+        c = _counter_circuit(3)
+        seen = []
+        for _ in range(10):
+            out = c.step([])
+            seen.append(sum(v << i for i, v in enumerate(out)))
+        assert seen == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+    def test_reset(self):
+        c = _counter_circuit(2)
+        c.step([])
+        c.step([])
+        c.reset()
+        assert c.step([]) == [0, 0]
+        assert c.cycles == 1
+
+    def test_initial_state(self):
+        b = CircuitBuilder()
+        s = b.add_input()
+        net = b.build([b.not_(s), b.buf(s)])
+        c = SequentialCircuit(net, n_state=1, initial_state=[1])
+        assert c.step([]) == [1]
+        assert c.step([]) == [0]
+
+    def test_external_io(self):
+        # accumulator: state ^= input each cycle
+        b = CircuitBuilder()
+        s = b.add_input()
+        x = b.add_input()
+        nxt = b.xor(s, x)
+        net = b.build([nxt, b.buf(nxt)])
+        c = SequentialCircuit(net, n_state=1)
+        assert c.step([1]) == [1]
+        assert c.step([1]) == [0]
+        assert c.step([0]) == [0]
+
+    def test_validation(self):
+        b = CircuitBuilder()
+        x = b.add_input()
+        net = b.build([b.buf(x)])
+        with pytest.raises(ValueError):
+            SequentialCircuit(net, n_state=2)
+        with pytest.raises(ValueError):
+            SequentialCircuit(net, n_state=1, initial_state=[0, 1])
+        c = SequentialCircuit(net, n_state=0)
+        with pytest.raises(ValueError):
+            c.step([1, 1])
+
+    def test_accounting(self):
+        c = _counter_circuit(4)
+        assert c.register_bits() == 4
+        assert c.combinational_cost() > 0
+        assert c.cycle_time() >= 1
+
+
+class TestHardwareCleanSorter:
+    def test_exhaustive_s8_k4(self):
+        hcs = HardwareCleanSorter(8, 4)
+        for combo in itertools.product([0, 1], repeat=4):
+            x = np.repeat(np.array(combo, dtype=np.uint8), 2)
+            out, ticks = hcs.sort(x)
+            assert is_sorted_binary(out)
+            assert out.sum() == x.sum()
+            assert ticks == 4
+
+    @pytest.mark.parametrize("s,k", [(16, 4), (32, 8), (16, 8)])
+    def test_random(self, s, k, rng):
+        hcs = HardwareCleanSorter(s, k)
+        for _ in range(25):
+            x = random_clean_k_sorted(s, k, rng)
+            out, _ = hcs.sort(x)
+            assert is_sorted_binary(out)
+            assert out.sum() == x.sum()
+
+    def test_matches_orchestrated_clean_sorter(self, rng):
+        hcs = HardwareCleanSorter(16, 4)
+        cs = CleanSorter(16, 4)
+        for _ in range(20):
+            x = random_clean_k_sorted(16, 4, rng)
+            hw, _ = hcs.sort(x)
+            sw, _, _ = cs.sort(x)
+            assert np.array_equal(hw, sw)
+
+    def test_register_inventory(self):
+        hcs = HardwareCleanSorter(16, 4)
+        assert hcs.register_bits() == 2 + 16  # lg k counter + s outputs
+        assert hcs.sorting_time() == 4 * hcs.circuit.cycle_time()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardwareCleanSorter(8, 3)
+        hcs = HardwareCleanSorter(8, 4)
+        with pytest.raises(ValueError):
+            hcs.sort(np.zeros(4, dtype=np.uint8))
+
+    def test_reusable_after_sort(self, rng):
+        hcs = HardwareCleanSorter(16, 4)
+        a = random_clean_k_sorted(16, 4, rng)
+        b_ = random_clean_k_sorted(16, 4, rng)
+        out_a, _ = hcs.sort(a)
+        out_b, _ = hcs.sort(b_)  # reset() inside must clear accumulators
+        assert out_b.sum() == b_.sum()
+        assert is_sorted_binary(out_b)

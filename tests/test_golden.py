@@ -1,0 +1,82 @@
+"""Golden regression values.
+
+Exact cost/depth numbers for canonical sizes, captured from the verified
+implementation.  These protect the reproduction's *measurements* from
+silent drift: any structural change to a construction that alters its
+cost or depth must consciously update this table (and EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.baselines.balanced import build_balanced_sorter
+from repro.baselines.batcher import build_bitonic_sorter, build_odd_even_merge_sorter
+from repro.baselines.columnsort import build_columnsort_network
+from repro.baselines.muller_preparata import build_muller_preparata_sorter
+from repro.core import build_mux_merger_sorter, build_prefix_sorter
+from repro.core.fish_sorter import FishSorter
+from repro.networks.benes import BenesNetwork
+
+#: builder -> {n: (cost, depth)}
+GOLDEN = {
+    build_mux_merger_sorter: {
+        16: (151, 16), 64: (1095, 36), 256: (6407, 64),
+    },
+    build_prefix_sorter: {
+        16: (236, 25), 64: (1452, 54), 256: (7546, 95),
+    },
+    build_odd_even_merge_sorter: {
+        16: (63, 10), 64: (543, 21), 256: (3839, 36),
+    },
+    build_bitonic_sorter: {
+        16: (80, 10), 64: (672, 21), 256: (4608, 36),
+    },
+    build_balanced_sorter: {
+        16: (128, 16), 64: (1152, 36), 256: (8192, 64),
+    },
+    build_muller_preparata_sorter: {
+        16: (139, 28), 64: (583, 45),
+    },
+    build_columnsort_network: {
+        16: (171, 24), 64: (1719, 60),
+    },
+}
+
+
+@pytest.mark.parametrize(
+    "builder,n,expected",
+    [
+        (builder, n, expected)
+        for builder, table in GOLDEN.items()
+        for n, expected in table.items()
+    ],
+    ids=lambda v: getattr(v, "__name__", str(v)),
+)
+def test_golden_cost_depth(builder, n, expected):
+    net = builder(n)
+    assert (net.cost(), net.depth()) == expected, (
+        f"{builder.__name__}({n}) changed: measured "
+        f"({net.cost()}, {net.depth()}), golden {expected} — if this is an "
+        "intentional construction change, update GOLDEN and EXPERIMENTS.md"
+    )
+
+
+def test_golden_fish():
+    expected = {64: 928, 256: 3889, 1024: 15883}
+    for n, cost in expected.items():
+        assert FishSorter(n).cost() == cost
+
+
+def test_golden_benes():
+    for n, (cost, depth) in {16: (56, 7), 256: (1920, 15)}.items():
+        bn = BenesNetwork(n)
+        assert (bn.cost(), bn.depth()) == (cost, depth)
+
+
+def test_golden_fish_times():
+    import numpy as np
+
+    fs = FishSorter(256)
+    x = np.zeros(256, dtype=np.uint8)
+    _, seq_rep = fs.sort(x)
+    _, pipe_rep = fs.sort(x, pipelined=True)
+    assert (seq_rep.sorting_time, pipe_rep.sorting_time) == (389, 123)

@@ -1,0 +1,160 @@
+"""Unit tests for the k-way machinery (k-SWAP, clean sorter, k-way merger)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuits import simulate
+from repro.core import sequences as seq
+from repro.core.kway import CleanSorter, KWayMuxMerger, build_k_swap
+
+
+class TestBuildKSwap:
+    def test_cost_depth(self):
+        net = build_k_swap(16, 4)
+        assert net.cost() == 8  # n/2 switches
+        assert net.depth() == 1
+
+    def test_rejects_odd_blocks(self):
+        with pytest.raises(ValueError):
+            build_k_swap(12, 4)  # block size 3 is odd
+
+    def test_layout_collects_clean_halves_on_top(self):
+        # blocks 01, 11: block 0 middle bit 1 -> swap; block 1 middle 1 -> swap
+        net = build_k_swap(4, 2)
+        out = simulate(net, [[0, 1, 1, 1]])[0].tolist()
+        # block 0 = [0,1]: mid=1 -> lower half (1) clean, swaps up
+        # block 1 = [1,1]: mid=1 -> swaps (identical halves)
+        assert out == [1, 1, 0, 1]
+
+
+class TestCleanSorter:
+    def test_exhaustive_clean_k_sorted(self):
+        cs = CleanSorter(8, 4)
+        for combo in itertools.product([0, 1], repeat=4):
+            x = np.repeat(np.array(combo, dtype=np.uint8), 2)
+            out, pays, t = cs.sort(x)
+            assert seq.is_sorted_binary(out)
+            assert out.sum() == x.sum()
+            assert pays is None
+
+    def test_payload_blocks_move_together(self):
+        cs = CleanSorter(8, 4)
+        x = np.array([1, 1, 0, 0, 1, 1, 0, 0], dtype=np.uint8)
+        pays = np.arange(8, dtype=np.int64)
+        out, out_pays, _ = cs.sort(x, payloads=pays)
+        assert seq.is_sorted_binary(out)
+        # blocks (01), (23), (45), (67) must stay contiguous
+        got_blocks = {tuple(out_pays[i : i + 2].tolist()) for i in range(0, 8, 2)}
+        assert got_blocks == {(2, 3), (6, 7), (0, 1), (4, 5)}
+        # zero blocks first
+        assert out.tolist() == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_dispatch_order_is_permutation(self, rng):
+        cs = CleanSorter(16, 4)
+        for _ in range(20):
+            x = seq.random_clean_k_sorted(16, 4, rng)
+            order = cs.dispatch_order(x)
+            assert sorted(order) == list(range(4))
+
+    def test_timing_pipelined_faster(self):
+        cs = CleanSorter(32, 4)
+        x = np.repeat(np.array([1, 0, 1, 0], dtype=np.uint8), 8)
+        _, _, t_seq = cs.sort(x)
+        _, _, t_pipe = cs.sort(x, pipelined=True)
+        assert t_pipe < t_seq
+
+    def test_start_offset_respected(self):
+        cs = CleanSorter(8, 4)
+        x = np.zeros(8, dtype=np.uint8)
+        _, _, t0 = cs.sort(x, start=0)
+        _, _, t100 = cs.sort(x, start=100)
+        assert t100 == t0 + 100
+
+    def test_inventory_components(self):
+        cs = CleanSorter(16, 4)
+        labels = [p.label for p in cs.inventory()]
+        assert any("key-sorter" in l for l in labels)
+        assert any("mux" in l for l in labels)
+        assert any("demux" in l for l in labels)
+        assert cs.cost() == sum(p.cost for p in cs.inventory())
+
+    def test_wrong_length_rejected(self):
+        cs = CleanSorter(8, 4)
+        with pytest.raises(ValueError):
+            cs.sort(np.zeros(6, dtype=np.uint8))
+
+
+class TestKWayMuxMerger:
+    @pytest.mark.parametrize("n,k", [(8, 2), (16, 4), (32, 4), (64, 8)])
+    def test_merges_random_k_sorted(self, n, k, rng):
+        m = KWayMuxMerger(n, k)
+        for _ in range(40):
+            x = seq.random_k_sorted(n, k, rng)
+            out, pays, t = m.merge(x)
+            assert seq.is_sorted_binary(out)
+            assert out.sum() == x.sum()
+
+    def test_exhaustive_small(self):
+        # every 2-sorted sequence of length 8
+        m = KWayMuxMerger(8, 2)
+        for zu in range(5):
+            for zl in range(5):
+                x = np.concatenate(
+                    [seq.sorted_sequence(4, zu), seq.sorted_sequence(4, zl)]
+                )
+                out, _, _ = m.merge(x)
+                assert seq.is_sorted_binary(out)
+
+    def test_fig8_example(self):
+        # Fig. 8 runs 1111/0001/0011/0111 through the 16-input 4-way merger
+        m = KWayMuxMerger(16, 4)
+        x = np.array([1, 1, 1, 1, 0, 0, 0, 1, 0, 0, 1, 1, 0, 1, 1, 1], dtype=np.uint8)
+        out, _, _ = m.merge(x)
+        assert out.tolist() == [0] * 6 + [1] * 10
+
+    def test_payload_carry(self, rng):
+        m = KWayMuxMerger(16, 4)
+        for _ in range(20):
+            x = seq.random_k_sorted(16, 4, rng)
+            pays = np.arange(16, dtype=np.int64) + 50
+            out, out_pays, _ = m.merge(x, payloads=pays)
+            assert sorted(out_pays.tolist()) == sorted(pays.tolist())
+            orig = {int(p): int(t) for p, t in zip(pays, x)}
+            assert all(orig[int(p)] == int(t) for t, p in zip(out, out_pays))
+
+    def test_base_case_is_k_input_sorter(self):
+        # merging a k-sorted sequence of length k = sorting k bits
+        m = KWayMuxMerger(4, 4)
+        for bits in itertools.product([0, 1], repeat=4):
+            out, _, _ = m.merge(np.array(bits, dtype=np.uint8))
+            assert out.tolist() == sorted(bits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KWayMuxMerger(16, 3)  # k not a power of two
+        with pytest.raises(ValueError):
+            KWayMuxMerger(16, 1)
+        with pytest.raises(ValueError):
+            KWayMuxMerger(12, 4)  # n not a power of two
+        m = KWayMuxMerger(16, 4)
+        with pytest.raises(ValueError):
+            m.merge(np.zeros(8, dtype=np.uint8))
+
+    def test_cost_inventory_consistent(self):
+        m = KWayMuxMerger(64, 4)
+        assert m.cost() == sum(p.cost for p in m.inventory())
+
+    def test_cost_scales_linearly_in_n(self):
+        # the whole point: merger cost is O(n) for fixed k
+        c1 = KWayMuxMerger(256, 4).cost()
+        c2 = KWayMuxMerger(512, 4).cost()
+        assert c2 / c1 < 2.2
+
+    def test_timing_parallel_branch_join(self):
+        # finishing time must dominate both the clean sorter and the
+        # recursive branch: monotone in n
+        t16 = KWayMuxMerger(16, 4).merge(np.zeros(16, dtype=np.uint8))[2]
+        t64 = KWayMuxMerger(64, 4).merge(np.zeros(64, dtype=np.uint8))[2]
+        assert t64 > t16

@@ -1,0 +1,111 @@
+"""Unit tests for gate-level lowering (raw constant-fanin gate counts)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.batcher import build_odd_even_merge_sorter
+from repro.circuits import (
+    CircuitBuilder,
+    exhaustive_inputs,
+    gate_count,
+    gate_depth,
+    lower_to_gates,
+    simulate,
+)
+from repro.circuits.elements import GATE_KINDS
+from repro.core import build_mux_merger_sorter, build_prefix_sorter
+
+
+def _equivalent(net, n_check=None):
+    lowered = lower_to_gates(net)
+    n = len(net.inputs)
+    if n <= 12:
+        inp = exhaustive_inputs(n)
+    else:
+        inp = np.random.default_rng(0).integers(0, 2, (128, n)).astype(np.uint8)
+    return np.array_equal(simulate(net, inp), simulate(lowered, inp)), lowered
+
+
+class TestEquivalence:
+    def test_comparator(self):
+        b = CircuitBuilder()
+        x, y = b.add_inputs(2)
+        net = b.build(list(b.comparator(x, y)))
+        ok, lowered = _equivalent(net)
+        assert ok and lowered.cost() == 2
+
+    def test_switch2(self):
+        b = CircuitBuilder()
+        x, y, c = b.add_inputs(3)
+        net = b.build(list(b.switch2(x, y, c)))
+        ok, lowered = _equivalent(net)
+        assert ok and lowered.cost() == 7
+
+    def test_mux_demux(self):
+        b = CircuitBuilder()
+        x, y, s = b.add_inputs(3)
+        m = b.mux2(x, y, s)
+        d = b.demux2(x, s)
+        net = b.build([m, *d])
+        ok, _ = _equivalent(net)
+        assert ok
+
+    def test_switch4(self, rng):
+        perms = ((0, 1, 2, 3), (1, 0, 3, 2), (2, 3, 0, 1), (3, 2, 1, 0))
+        b = CircuitBuilder()
+        data = b.add_inputs(4)
+        s1, s0 = b.add_inputs(2)
+        net = b.build(list(b.switch4(data, s1, s0, perms)))
+        ok, _ = _equivalent(net)
+        assert ok
+
+    def test_derived_gates(self):
+        b = CircuitBuilder()
+        x, y = b.add_inputs(2)
+        net = b.build([b.nand(x, y), b.nor(x, y), b.xnor(x, y), b.buf(x)])
+        ok, lowered = _equivalent(net)
+        assert ok
+        # derived gates expand to NOT+base
+        assert lowered.cost() == 6
+
+    @pytest.mark.parametrize(
+        "builder", [build_mux_merger_sorter, build_prefix_sorter,
+                    build_odd_even_merge_sorter]
+    )
+    def test_whole_sorters_equivalent(self, builder):
+        ok, lowered = _equivalent(builder(16))
+        assert ok
+        assert set(k for k in lowered.stats().by_kind) <= GATE_KINDS
+
+
+class TestGateCounts:
+    def test_gate_count_exceeds_element_count(self):
+        net = build_mux_merger_sorter(32)
+        assert gate_count(net) > net.cost()
+
+    def test_fish_stays_linear_at_gate_level(self):
+        """The abstract's claim is in *gates*: O(n) constant-fanin gates.
+        Check the lowered inventory of the fish sorter's components."""
+        from repro.core.fish_sorter import FishSorter
+
+        totals = {}
+        for n in (64, 256):
+            fs = FishSorter(n)
+            total = gate_count(fs.group_sorter) + gate_count(fs.input_mux) \
+                + gate_count(fs.output_demux)
+            for m, net in fs.merger._k_swaps.items():
+                total += gate_count(net)
+            for m, net in fs.merger._mergers.items():
+                total += gate_count(net)
+            total += gate_count(fs.merger.base_sorter)
+            totals[n] = total
+        assert totals[256] / totals[64] < 4.6  # ~linear growth
+
+    def test_gate_depth_constant_factor_of_element_depth(self):
+        net = build_mux_merger_sorter(32)
+        assert net.depth() <= gate_depth(net) <= 4 * net.depth()
+
+    def test_comparator_network_gate_count_is_2x(self):
+        # a comparator lowers to exactly AND + OR
+        net = build_odd_even_merge_sorter(16)
+        assert gate_count(net) == 2 * net.cost()

@@ -1,0 +1,122 @@
+"""Unit tests for (n,k)-multiplexers and (k,n)-demultiplexers (Fig. 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder, simulate
+from repro.components import group_demultiplexer, group_multiplexer
+
+
+def _mux(n, k):
+    groups = n // k
+    lg = int(math.log2(groups))
+    b = CircuitBuilder()
+    ws = b.add_inputs(n)
+    sel = b.add_inputs(lg)
+    return b.build(group_multiplexer(b, ws, k, sel))
+
+
+def _demux(k, groups):
+    lg = int(math.log2(groups))
+    b = CircuitBuilder()
+    ws = b.add_inputs(k)
+    sel = b.add_inputs(lg)
+    return b.build(group_demultiplexer(b, ws, groups, sel))
+
+
+class TestGroupMultiplexer:
+    @pytest.mark.parametrize("n,k", [(16, 4), (16, 8), (8, 2), (32, 4)])
+    def test_selects_each_group(self, n, k, rng):
+        net = _mux(n, k)
+        groups = n // k
+        lg = int(math.log2(groups))
+        vec = rng.integers(0, 2, n).tolist()
+        for g in range(groups):
+            sel = [(g >> (lg - 1 - i)) & 1 for i in range(lg)]
+            out = simulate(net, [vec + sel])[0].tolist()
+            assert out == vec[g * k : (g + 1) * k]
+
+    @pytest.mark.parametrize("n,k", [(16, 4), (64, 8), (64, 4)])
+    def test_cost_n_minus_k_depth_lg(self, n, k):
+        # paper Fig. 3(a): "exacts n costs and lg(n/k) depth"; built from
+        # k (n/k,1)-trees the exact count is n - k <= n
+        net = _mux(n, k)
+        assert net.cost() == n - k
+        assert net.depth() == int(math.log2(n // k))
+
+    def test_fig3a_shape(self):
+        # the paper's (16,4)-multiplexer: 4 groups of 4, 2 select bits
+        net = _mux(16, 4)
+        assert len(net.inputs) == 16 + 2
+        assert len(net.outputs) == 4
+
+    def test_single_group_passthrough(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(4)
+        outs = group_multiplexer(b, ws, 4, [])
+        net = b.build(outs)
+        assert net.cost() == 0
+        assert simulate(net, [[1, 0, 1, 1]])[0].tolist() == [1, 0, 1, 1]
+
+    def test_bad_select_width(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(16)
+        sel = b.add_inputs(3)
+        with pytest.raises(ValueError):
+            group_multiplexer(b, ws, 4, sel)
+
+    def test_bad_group_divisibility(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(10)
+        sel = b.add_inputs(2)
+        with pytest.raises(ValueError):
+            group_multiplexer(b, ws, 4, sel)
+
+
+class TestGroupDemultiplexer:
+    @pytest.mark.parametrize("k,groups", [(4, 4), (8, 2), (2, 8)])
+    def test_routes_to_selected_group(self, k, groups, rng):
+        net = _demux(k, groups)
+        lg = int(math.log2(groups))
+        vec = rng.integers(0, 2, k).tolist()
+        for g in range(groups):
+            sel = [(g >> (lg - 1 - i)) & 1 for i in range(lg)]
+            out = simulate(net, [vec + sel])[0].tolist()
+            expect = [0] * (k * groups)
+            expect[g * k : (g + 1) * k] = vec
+            assert out == expect
+
+    def test_fig3b_shape(self):
+        # the paper's (4,16)-demultiplexer
+        net = _demux(4, 4)
+        assert len(net.inputs) == 4 + 2
+        assert len(net.outputs) == 16
+
+    @pytest.mark.parametrize("k,groups", [(4, 4), (8, 8)])
+    def test_cost_depth(self, k, groups):
+        net = _demux(k, groups)
+        n = k * groups
+        assert net.cost() == n - k
+        assert net.depth() == int(math.log2(groups))
+
+    def test_bad_select_width(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(4)
+        sel = b.add_inputs(1)
+        with pytest.raises(ValueError):
+            group_demultiplexer(b, ws, 4, sel)
+
+    def test_mux_demux_roundtrip(self, rng):
+        # demux to group g then mux group g back: identity on the block
+        k, groups = 4, 4
+        n = k * groups
+        dm = _demux(k, groups)
+        mx = _mux(n, k)
+        vec = rng.integers(0, 2, k).tolist()
+        for g in range(groups):
+            sel = [(g >> 1) & 1, g & 1]
+            spread = simulate(dm, [vec + sel])[0].tolist()
+            back = simulate(mx, [spread + sel])[0].tolist()
+            assert back == vec

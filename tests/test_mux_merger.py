@@ -1,0 +1,158 @@
+"""Unit tests for Network 2 — the mux-merger binary sorter (Fig. 6, Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import verify_netlist_random, verify_sorter_exhaustive
+from repro.circuits import simulate
+from repro.components import quarter_perm_from_cycles
+from repro.core import sequences as seq
+from repro.core.mux_merger import (
+    IN_SWAP_PERMS,
+    OUT_SWAP_PERMS,
+    build_mux_merger,
+    build_mux_merger_sorter,
+    classify_bisorted,
+    mux_merge_behavioral,
+    mux_merger_sort_behavioral,
+)
+
+
+def _all_bisorted(n):
+    h = n // 2
+    for zu in range(h + 1):
+        for zl in range(h + 1):
+            yield np.concatenate(
+                [seq.sorted_sequence(h, zu), seq.sorted_sequence(h, zl)]
+            )
+
+
+class TestMerger:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_merges_all_bisorted(self, n):
+        net = build_mux_merger(n)
+        for x in _all_bisorted(n):
+            out = simulate(net, x[None, :])[0]
+            assert seq.is_sorted_binary(out), x
+            assert out.sum() == x.sum()
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_behavioral_matches_netlist(self, n):
+        net = build_mux_merger(n)
+        for x in _all_bisorted(n):
+            assert np.array_equal(
+                simulate(net, x[None, :])[0], mux_merge_behavioral(x)
+            )
+
+    def test_all_select_cases_reached(self):
+        # Table I: each of the four (middle-bit) cases must occur
+        seen = set()
+        for x in _all_bisorted(16):
+            seen.add(classify_bisorted(x))
+        assert seen == {0, 1, 2, 3}
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_merger_cost_4n_bound(self, n):
+        # C_m(n) = 2n + C_m(n/2) <= 4n (our base cases use comparators,
+        # so measured cost is strictly below the bound)
+        net = build_mux_merger(n)
+        assert net.cost() <= 4 * n
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_merger_depth_2_lg_n(self, n):
+        # D_m(n) = 2 per level -> <= 2 lg n
+        net = build_mux_merger(n)
+        lg = n.bit_length() - 1
+        assert net.depth() <= 2 * lg
+
+
+class TestTableI:
+    def test_tables_are_permutations(self):
+        for perm in IN_SWAP_PERMS + OUT_SWAP_PERMS:
+            assert sorted(perm) == [0, 1, 2, 3]
+
+    def test_in_swap_matches_cycle_notation(self):
+        # derived settings documented in the module docstring
+        assert IN_SWAP_PERMS[0] == quarter_perm_from_cycles([2, 3])
+        assert IN_SWAP_PERMS[1] == quarter_perm_from_cycles([2, 3, 4])
+        assert IN_SWAP_PERMS[2] == quarter_perm_from_cycles([1, 3])
+        assert IN_SWAP_PERMS[3] == quarter_perm_from_cycles([1, 3, 4])
+
+    def test_out_swap_matches_cycle_notation(self):
+        assert OUT_SWAP_PERMS[0] == quarter_perm_from_cycles()
+        assert OUT_SWAP_PERMS[1] == quarter_perm_from_cycles([2, 4, 3])
+        assert OUT_SWAP_PERMS[2] == quarter_perm_from_cycles([2, 4, 3])
+        assert OUT_SWAP_PERMS[3] == quarter_perm_from_cycles([1, 3], [2, 4])
+
+    def test_in_swap_feeds_merger_the_bisorted_pair(self):
+        # structural check of the case analysis for every bisorted input
+        n, q = 16, 4
+        for x in _all_bisorted(n):
+            sel = classify_bisorted(x)
+            quarters = [x[i * q : (i + 1) * q] for i in range(4)]
+            arranged = [quarters[IN_SWAP_PERMS[sel][i]] for i in range(4)]
+            bottom = np.concatenate(arranged[2:])
+            assert seq.is_bisorted(bottom), (x, sel)
+            # outer positions hold the clean quarters
+            assert seq.is_clean(arranged[0]) and seq.is_clean(arranged[1])
+
+    def test_alternative_assignment_also_sorts(self):
+        """Any assignment satisfying the case analysis is equivalent; try
+        one with the outer (clean) quarters swapped on the IN side and
+        the OUT side compensating."""
+        swap_positions = (1, 0, 2, 3)  # IN: exchange the two bypass slots
+        alt_in = tuple(
+            tuple(p[swap_positions[i]] for i in range(4)) for p in IN_SWAP_PERMS
+        )
+        # OUT must read the bypass quarters from their swapped slots
+        alt_out = tuple(
+            tuple((1 - p[i]) if p[i] < 2 else p[i] for i in range(4))
+            for p in OUT_SWAP_PERMS
+        )
+        net = build_mux_merger(16, alt_in, alt_out)
+        for x in _all_bisorted(16):
+            out = simulate(net, x[None, :])[0]
+            assert seq.is_sorted_binary(out), x
+
+
+class TestSorter:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_exhaustive(self, n):
+        assert verify_sorter_exhaustive(build_mux_merger_sorter(n))
+
+    @pytest.mark.parametrize("n", [32, 64, 128])
+    def test_random_large(self, n):
+        assert verify_netlist_random(build_mux_merger_sorter(n), trials=200)
+
+    def test_behavioral_matches(self, rng):
+        net = build_mux_merger_sorter(32)
+        for _ in range(50):
+            x = rng.integers(0, 2, 32).astype(np.uint8)
+            assert np.array_equal(
+                simulate(net, x[None, :])[0], mux_merger_sort_behavioral(x)
+            )
+
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_cost_4n_lg_n_bound(self, n):
+        # paper: C(n) = 2C(n/2) + 4n = 4 n lg n (upper bound for us)
+        net = build_mux_merger_sorter(n)
+        lg = n.bit_length() - 1
+        assert net.cost() <= 4 * n * lg
+
+    def test_no_adder_gates(self):
+        """The whole point of Network 2: "eliminates the need for a
+        prefix adder" — the netlist contains only switching elements."""
+        net = build_mux_merger_sorter(64)
+        assert set(net.cost_by_kind()) <= {"COMPARATOR", "SWITCH4"}
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_mux_merger_sorter(10)
+
+    def test_cheaper_than_prefix_sorter(self):
+        from repro.core import build_prefix_sorter
+
+        # with real gate-level adders, Network 2 measures cheaper
+        assert (
+            build_mux_merger_sorter(256).cost() < build_prefix_sorter(256).cost()
+        )

@@ -1,0 +1,108 @@
+"""Unit tests for repro.circuits.netlist."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, Netlist
+from repro.circuits.elements import AND, BUF, COMPARATOR, Element
+
+
+def _and_net():
+    b = CircuitBuilder("t")
+    x, y = b.add_inputs(2)
+    z = b.and_(x, y)
+    return b.build([z])
+
+
+class TestValidation:
+    def test_undriven_input_rejected(self):
+        e = Element(AND, (0, 1), (2,), None)
+        with pytest.raises(ValueError, match="undriven"):
+            Netlist(3, [e], inputs=[0], outputs=[2])
+
+    def test_double_driver_rejected(self):
+        e1 = Element(BUF, (0,), (1,), None)
+        e2 = Element(BUF, (0,), (1,), None)
+        with pytest.raises(ValueError, match="multiple drivers"):
+            Netlist(2, [e1, e2], inputs=[0], outputs=[1])
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(ValueError, match="undriven"):
+            Netlist(2, [], inputs=[0], outputs=[1])
+
+    def test_constant_must_be_bit(self):
+        with pytest.raises(ValueError, match="non-bit"):
+            Netlist(1, [], inputs=[], outputs=[0], constants={0: 2})
+
+    def test_out_of_range_wire(self):
+        e = Element(BUF, (5,), (1,), None)
+        with pytest.raises(ValueError):
+            Netlist(2, [e], inputs=[0], outputs=[1])
+
+
+class TestAccounting:
+    def test_cost_sums_element_costs(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(4)
+        s1, s0 = b.add_inputs(2)
+        b4 = b.switch4(ws, s1, s0, (
+            (0, 1, 2, 3), (1, 0, 2, 3), (0, 1, 3, 2), (3, 2, 1, 0)))
+        net = b.build(list(b4))
+        assert net.cost() == 4  # one 4x4 switch = four 2x2
+
+    def test_depth_longest_path(self):
+        b = CircuitBuilder()
+        x = b.add_input()
+        y = b.add_input()
+        chain = x
+        for _ in range(5):
+            chain = b.not_(chain)
+        merged = b.and_(chain, y)
+        net = b.build([merged])
+        assert net.depth() == 6
+
+    def test_depth_counts_control_paths(self):
+        # adaptive networks derive controls from data; the control path
+        # contributes to depth exactly like a data path
+        b = CircuitBuilder()
+        x, y = b.add_inputs(2)
+        ctrl = b.not_(b.not_(b.not_(x)))
+        o0, o1 = b.switch2(x, y, ctrl)
+        net = b.build([o0, o1])
+        assert net.depth() == 4  # 3 NOTs + switch
+
+    def test_buffer_free_depth(self):
+        b = CircuitBuilder()
+        x = b.add_input()
+        w = b.buf(b.buf(b.buf(x)))
+        net = b.build([w])
+        assert net.depth() == 0
+        assert net.cost() == 0
+
+    def test_max_depth_includes_dangling_logic(self):
+        b = CircuitBuilder()
+        x = b.add_input()
+        out = b.not_(x)
+        _dead = b.not_(b.not_(out))  # deeper, feeds nothing
+        net = b.build([out])
+        assert net.depth() == 1
+        assert net.max_depth() == 3
+
+    def test_stats(self):
+        net = _and_net()
+        st = net.stats()
+        assert st.cost == 1
+        assert st.depth == 1
+        assert st.n_inputs == 2 and st.n_outputs == 1
+        assert st.by_kind == {"AND": 1}
+
+    def test_cost_by_kind(self):
+        b = CircuitBuilder()
+        x, y = b.add_inputs(2)
+        lo, hi = b.comparator(x, y)
+        z = b.and_(lo, hi)
+        net = b.build([z])
+        assert net.cost_by_kind() == {"COMPARATOR": 1, "AND": 1}
+
+    def test_wire_depths_cached_consistently(self):
+        net = _and_net()
+        assert net.wire_depths() is net.wire_depths()

@@ -1,0 +1,120 @@
+"""Unit tests for the patch-up network (Network 1's adaptive merger)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder, simulate
+from repro.components.prefix_adder import popcount
+from repro.core import sequences as seq
+from repro.core.patchup import (
+    build_patchup_network,
+    patchup_behavioral,
+    patchup_network,
+)
+
+
+class TestBehavioral:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_sorts_all_A_n(self, n):
+        for z in seq.enumerate_A(n):
+            out = patchup_behavioral(z)
+            assert seq.is_sorted_binary(out)
+            assert out.sum() == z.sum()
+
+    def test_single_element(self):
+        assert patchup_behavioral(np.array([1], dtype=np.uint8)).tolist() == [1]
+
+
+class TestNetlist:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_sorts_all_A_n(self, n):
+        net = build_patchup_network(n)
+        for z in seq.enumerate_A(n):
+            out = simulate(net, z[None, :])[0]
+            assert seq.is_sorted_binary(out), z
+            assert out.sum() == z.sum()
+
+    def test_matches_behavioral(self):
+        net = build_patchup_network(16)
+        for z in seq.enumerate_A(16)[::11]:
+            out = simulate(net, z[None, :])[0]
+            assert np.array_equal(out, patchup_behavioral(z))
+
+    def test_count_width_validated(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(8)
+        cnt = b.add_inputs(3)  # needs lg 8 + 1 = 4 bits
+        with pytest.raises(ValueError, match="count bits"):
+            patchup_network(b, ws, cnt)
+
+    def test_switching_cost_recurrence(self):
+        """Switching cost (comparators + swapper switches) is exactly
+        C_p(n) = 3n/2 + C_p(n/2), C_p(2) = 1 — the paper's eq. (3); the
+        steering logic adds one OR gate per level on top."""
+        for n in (4, 8, 16, 32, 64):
+            b = CircuitBuilder()
+            ws = b.add_inputs(n)
+            cnt = b.add_inputs(n.bit_length())  # count fed externally
+            net = b.build(patchup_network(b, ws, cnt))
+            kinds = net.cost_by_kind()
+            switching = kinds.get("COMPARATOR", 0) + kinds.get("SWITCH2", 0)
+
+            def cp(m):
+                return 1 if m == 2 else 3 * m // 2 + cp(m // 2)
+
+            assert switching == cp(n)
+            lg = n.bit_length() - 1
+            # one OR steering gate per level above the base
+            assert kinds.get("OR", 0) == lg - 1
+
+    def test_cp_bound_3n(self):
+        # paper: C_p(n) <= 3n
+        for n in (4, 16, 64, 256):
+            net = build_patchup_network(n)
+            kinds = net.cost_by_kind()
+            switching = kinds.get("COMPARATOR", 0) + kinds.get("SWITCH2", 0)
+            assert switching <= 3 * n
+
+    def test_depth_recurrence(self):
+        # D_p(n) = 3 + D_p(n/2) for the switching path; measured depth
+        # also includes the popcount front end of the standalone build
+        d = {}
+        for n in (4, 8, 16, 32):
+            b = CircuitBuilder()
+            ws = b.add_inputs(n)
+            cnt = b.add_inputs(n.bit_length())
+            out = patchup_network(b, ws, cnt)
+            d[n] = b.build(out).depth()
+        assert d[8] - d[4] == 3
+        assert d[16] - d[8] == 3
+        assert d[32] - d[16] == 3
+
+
+class TestCountSteering:
+    """The bit-rewire rule: child count = count with the top two bits
+    collapsed; select = OR of the top two bits."""
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_rewire_equals_arithmetic(self, n):
+        lg = n.bit_length() - 1
+        for count in range(n + 1):
+            bits = [(count >> i) & 1 for i in range(lg + 1)]
+            select = bits[lg] | bits[lg - 1]
+            assert select == (count >= n // 2)
+            child_bits = bits[: lg - 1] + [bits[lg]]
+            child = sum(b << i for i, b in enumerate(child_bits))
+            assert child == (count - n // 2 if count >= n // 2 else count)
+
+    def test_wrong_count_gives_wrong_sort(self):
+        """Feeding an inconsistent count breaks sorting — evidence the
+        steering is load-bearing, not decorative."""
+        n = 8
+        b = CircuitBuilder()
+        ws = b.add_inputs(n)
+        cnt = b.add_inputs(4)
+        net = b.build(patchup_network(b, ws, cnt))
+        z = np.array([1, 0, 1, 0, 1, 0, 1, 1], dtype=np.uint8)  # 5 ones
+        good = simulate(net, [z.tolist() + [1, 0, 1, 0]])[0]  # count=5
+        assert seq.is_sorted_binary(good)
+        bad = simulate(net, [z.tolist() + [1, 0, 0, 0]])[0]  # count=1 (lie)
+        assert not seq.is_sorted_binary(bad)

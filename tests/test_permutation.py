@@ -1,0 +1,104 @@
+"""Unit tests for the radix permuter (Fig. 10, Table II)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis import loglog_slope
+from repro.networks.permutation import RadixPermuter, check_permutation
+
+
+class TestRouting:
+    def test_all_permutations_n4(self):
+        rp = RadixPermuter(4, backend="mux_merger")
+        pays = np.arange(4, dtype=np.int64) + 7
+        for perm in itertools.permutations(range(4)):
+            out, _ = rp.permute(list(perm), pays)
+            assert check_permutation(perm, pays, out)
+
+    @pytest.mark.parametrize("backend", ["mux_merger", "prefix"])
+    def test_random_n16(self, backend, rng):
+        rp = RadixPermuter(16, backend=backend)
+        pays = np.arange(16, dtype=np.int64)
+        for _ in range(30):
+            perm = rng.permutation(16)
+            out, rep = rp.permute(perm, pays)
+            assert check_permutation(perm, pays, out)
+            assert rep.backend == backend
+
+    def test_fish_backend(self, rng):
+        rp = RadixPermuter(32, backend="fish")
+        pays = np.arange(32, dtype=np.int64)
+        for _ in range(8):
+            perm = rng.permutation(32)
+            out, rep = rp.permute(perm, pays)
+            assert check_permutation(perm, pays, out)
+        assert rep.distributor_levels == 5
+
+    def test_identity_and_rotation(self):
+        rp = RadixPermuter(8, backend="mux_merger")
+        pays = np.arange(8, dtype=np.int64)
+        out, _ = rp.permute(list(range(8)), pays)
+        assert np.array_equal(out, pays)
+        rot = [(i + 1) % 8 for i in range(8)]
+        out, _ = rp.permute(rot, pays)
+        assert check_permutation(rot, pays, out)
+
+    def test_invalid_inputs(self):
+        rp = RadixPermuter(8, backend="mux_merger")
+        with pytest.raises(ValueError):
+            rp.permute([0, 1, 2, 3, 4, 5, 6, 6], np.arange(8))
+        with pytest.raises(ValueError):
+            rp.permute(list(range(8)), np.arange(4))
+        with pytest.raises(ValueError):
+            RadixPermuter(8, backend="bogus")
+        with pytest.raises(ValueError):
+            RadixPermuter(12)
+
+
+class TestComplexityClaims:
+    def test_fish_backend_cost_n_lg_n(self):
+        # Table II: this paper's permuter is the O(n lg n)-cost one
+        sizes = [64, 128, 256, 512]
+        costs = [RadixPermuter(n, backend="fish").cost() for n in sizes]
+        assert 1.0 < loglog_slope(sizes, costs) < 1.35
+
+    def test_combinational_backend_costs_more(self):
+        n = 256
+        fish = RadixPermuter(n, backend="fish").cost()
+        comb = RadixPermuter(n, backend="mux_merger").cost()
+        assert fish < comb
+
+    def test_routing_time_polylog(self):
+        import math
+
+        for n in (64, 256):
+            rp = RadixPermuter(n, backend="fish")
+            lg = math.log2(n)
+            # paper: O(lg^3 n) routing time
+            assert rp.routing_time() <= 8 * lg ** 3
+
+    def test_gains_on_benes_bit_level_model(self):
+        """Table II: ours is O(n lg n) vs Benes's O(n lg^2 n).  With our
+        measured constants the ratio ours/Benes falls strictly with n
+        (crossing 1 just past n = 4096)."""
+        from repro.networks.benes import BenesNetwork
+
+        ratios = [
+            RadixPermuter(n, backend="fish").cost()
+            / BenesNetwork.bit_level_cost_model(n)
+            for n in (256, 1024, 4096)
+        ]
+        assert ratios[0] > ratios[1] > ratios[2]
+        assert ratios[2] < 1.05
+
+
+class TestCheckPermutation:
+    def test_detects_misroute(self):
+        perm = [1, 0, 2, 3]
+        pays = np.array([10, 20, 30, 40])
+        good = np.array([20, 10, 30, 40])
+        bad = np.array([10, 20, 30, 40])
+        assert check_permutation(perm, pays, good)
+        assert not check_permutation(perm, pays, bad)

@@ -1,0 +1,203 @@
+"""Unit tests for gate-level adders, popcounts, and OR scans."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits import CircuitBuilder, exhaustive_inputs, simulate
+from repro.components import (
+    add_counts,
+    half_adder_count,
+    kogge_stone_add,
+    popcount,
+    ripple_add,
+)
+from repro.components.prefix_adder import (
+    prefix_or_scan,
+    prefix_sum_scan,
+    suffix_or_scan,
+)
+
+
+def _decode(bits_out: np.ndarray) -> np.ndarray:
+    return (bits_out * (1 << np.arange(bits_out.shape[1]))).sum(axis=1)
+
+
+def _adder_net(width, fn):
+    b = CircuitBuilder()
+    xs = b.add_inputs(width)
+    ys = b.add_inputs(width)
+    return b.build(fn(b, xs, ys))
+
+
+class TestAdders:
+    @pytest.mark.parametrize("fn", [kogge_stone_add, ripple_add])
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_exhaustive(self, fn, width):
+        net = _adder_net(width, fn)
+        inp = exhaustive_inputs(2 * width)
+        out = simulate(net, inp)
+        xv = (inp[:, :width] * (1 << np.arange(width))).sum(axis=1)
+        yv = (inp[:, width:] * (1 << np.arange(width))).sum(axis=1)
+        assert np.array_equal(_decode(out), xv + yv)
+
+    def test_kogge_stone_depth_logarithmic(self):
+        d8 = _adder_net(8, kogge_stone_add).depth()
+        d16 = _adder_net(16, kogge_stone_add).depth()
+        assert d16 - d8 <= 2  # one extra prefix level + margin
+
+    def test_ripple_depth_linear(self):
+        d8 = _adder_net(8, ripple_add).depth()
+        d16 = _adder_net(16, ripple_add).depth()
+        assert d16 - d8 >= 8  # grows by ~2 per bit
+
+    def test_ripple_cheaper_than_kogge_stone(self):
+        assert _adder_net(16, ripple_add).cost() < _adder_net(16, kogge_stone_add).cost()
+
+    def test_width_mismatch_rejected(self):
+        b = CircuitBuilder()
+        xs = b.add_inputs(3)
+        ys = b.add_inputs(2)
+        with pytest.raises(ValueError):
+            kogge_stone_add(b, xs, ys)
+        with pytest.raises(ValueError):
+            ripple_add(b, xs, ys)
+
+    def test_half_adder_count(self):
+        b = CircuitBuilder()
+        x, y = b.add_inputs(2)
+        net = b.build(half_adder_count(b, x, y))
+        out = simulate(net, exhaustive_inputs(2))
+        assert _decode(out).tolist() == [0, 1, 1, 2]
+
+    def test_add_counts_pads_widths(self):
+        b = CircuitBuilder()
+        xs = b.add_inputs(3)
+        ys = b.add_inputs(1)
+        net = b.build(add_counts(b, xs, ys))
+        inp = exhaustive_inputs(4)
+        out = simulate(net, inp)
+        xv = (inp[:, :3] * (1 << np.arange(3))).sum(axis=1)
+        yv = inp[:, 3]
+        assert np.array_equal(_decode(out), xv + yv)
+
+    def test_add_counts_unknown_adder(self):
+        b = CircuitBuilder()
+        xs = b.add_inputs(2)
+        ys = b.add_inputs(2)
+        with pytest.raises(ValueError, match="unknown adder"):
+            add_counts(b, xs, ys, adder="carry-skip")
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("adder", ["prefix", "ripple"])
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 16])
+    def test_counts_ones(self, n, adder):
+        b = CircuitBuilder()
+        ws = b.add_inputs(n)
+        net = b.build(popcount(b, ws, adder=adder))
+        inp = exhaustive_inputs(n)
+        out = simulate(net, inp)
+        assert np.array_equal(_decode(out), inp.sum(axis=1))
+
+    def test_cost_roughly_linear(self):
+        costs = {}
+        for n in (16, 32, 64, 128):
+            b = CircuitBuilder()
+            ws = b.add_inputs(n)
+            net = b.build(popcount(b, ws, adder="ripple"))
+            costs[n] = net.cost()
+        # ratio per doubling should approach 2 (linear), never exceed 2.5
+        assert costs[128] / costs[64] < 2.5
+
+
+class TestOrScans:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8, 16])
+    def test_prefix_or(self, m, rng):
+        b = CircuitBuilder()
+        ws = b.add_inputs(m)
+        net = b.build(prefix_or_scan(b, ws))
+        for _ in range(20):
+            vec = rng.integers(0, 2, m)
+            out = simulate(net, [vec.tolist()])[0]
+            assert np.array_equal(out, np.maximum.accumulate(vec))
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8, 16])
+    def test_suffix_or(self, m, rng):
+        b = CircuitBuilder()
+        ws = b.add_inputs(m)
+        net = b.build(suffix_or_scan(b, ws))
+        for _ in range(20):
+            vec = rng.integers(0, 2, m)
+            out = simulate(net, [vec.tolist()])[0]
+            assert np.array_equal(out, np.maximum.accumulate(vec[::-1])[::-1])
+
+    def test_prefix_or_linear_cost(self):
+        def cost(m):
+            b = CircuitBuilder()
+            ws = b.add_inputs(m)
+            net = b.build(prefix_or_scan(b, ws))
+            return net.cost()
+
+        assert cost(256) < 2 * 256  # < 2m gates
+        assert cost(256) / cost(128) < 2.2
+
+    def test_prefix_or_empty(self):
+        b = CircuitBuilder()
+        assert prefix_or_scan(b, []) == []
+
+
+class TestPrefixSumScan:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8, 12])
+    def test_exhaustive(self, m):
+        b = CircuitBuilder()
+        ws = b.add_inputs(m)
+        scans = prefix_sum_scan(b, ws)
+        widths = [len(s) for s in scans]
+        net = b.build([w for s in scans for w in s])
+        inp = exhaustive_inputs(m)
+        res = simulate(net, inp)
+        pos = 0
+        for i, w in enumerate(widths):
+            vals = (res[:, pos : pos + w] * (1 << np.arange(w))).sum(axis=1)
+            assert np.array_equal(vals, inp[:, : i + 1].sum(axis=1)), i
+            pos += w
+
+    def test_widths_bounded(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(32)
+        scans = prefix_sum_scan(b, ws)
+        assert max(len(s) for s in scans) <= 32 .bit_length()
+
+    def test_cost_n_lg_n(self):
+        def cost(m):
+            b = CircuitBuilder()
+            ws = b.add_inputs(m)
+            scans = prefix_sum_scan(b, ws)
+            return b.build([w for s in scans for w in s]).cost()
+
+        # per-doubling growth stays well under quadratic
+        assert cost(128) / cost(64) < 2.6
+
+    def test_depth_logarithmic_levels(self):
+        def depth(m):
+            b = CircuitBuilder()
+            ws = b.add_inputs(m)
+            scans = prefix_sum_scan(b, ws)
+            return b.build([w for s in scans for w in s]).depth()
+
+        # doubling n adds O(lg n) depth (one more level of wider adders),
+        # far from doubling it
+        assert depth(128) - depth(64) < depth(64)
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_property_kogge_stone_adds(x, y):
+    b = CircuitBuilder()
+    xs = b.add_inputs(8)
+    ys = b.add_inputs(8)
+    net = b.build(kogge_stone_add(b, xs, ys))
+    vec = [(x >> i) & 1 for i in range(8)] + [(y >> i) & 1 for i in range(8)]
+    out = simulate(net, [vec])[0]
+    assert int(_decode(out[None, :])[0]) == x + y

@@ -1,0 +1,108 @@
+"""Unit tests for Network 1 — the prefix binary sorter (Fig. 5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import verify_netlist_random, verify_sorter_exhaustive
+from repro.circuits import simulate
+from repro.core import build_prefix_sorter
+from repro.core.prefix_sorter import prefix_sort_behavioral
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_exhaustive(self, n):
+        assert verify_sorter_exhaustive(build_prefix_sorter(n))
+
+    @pytest.mark.parametrize("n", [32, 64, 128])
+    def test_random_large(self, n):
+        assert verify_netlist_random(build_prefix_sorter(n), trials=200)
+
+    @pytest.mark.parametrize("adder", ["prefix", "ripple"])
+    def test_adder_variants_sort(self, adder):
+        assert verify_sorter_exhaustive(build_prefix_sorter(16, adder=adder))
+
+    def test_behavioral_matches_netlist(self, rng):
+        net = build_prefix_sorter(32)
+        for _ in range(50):
+            x = rng.integers(0, 2, 32).astype(np.uint8)
+            assert np.array_equal(
+                simulate(net, x[None, :])[0], prefix_sort_behavioral(x)
+            )
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_prefix_sorter(12)
+
+    def test_corner_inputs(self):
+        net = build_prefix_sorter(64)
+        for x in (np.zeros(64), np.ones(64)):
+            x = x.astype(np.uint8)
+            assert np.array_equal(simulate(net, x[None, :])[0], np.sort(x))
+        one = np.zeros(64, dtype=np.uint8)
+        one[0] = 1
+        out = simulate(net, one[None, :])[0]
+        assert out.tolist() == [0] * 63 + [1]
+
+
+class TestCountOutput:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_emitted_count_is_popcount(self, n, rng):
+        net = build_prefix_sorter(n, emit_count=True)
+        assert len(net.outputs) == n + n.bit_length()
+        for _ in range(30):
+            x = rng.integers(0, 2, n).astype(np.uint8)
+            out = simulate(net, x[None, :])[0]
+            count_bits = out[n:]
+            count = int((count_bits * (1 << np.arange(count_bits.size))).sum())
+            assert count == int(x.sum())
+
+
+class TestComplexityClaims:
+    def test_switching_cost_tracks_3n_lg_n(self):
+        """The comparator+switch cost (the paper counts everything at
+        3n lg n with an idealized 3 lg n-cost adder) stays within a small
+        factor of the claim; adders add an O(lg^2 n lg lg n) term."""
+        for n in (16, 64, 256):
+            net = build_prefix_sorter(n)
+            lg = n.bit_length() - 1
+            kinds = net.cost_by_kind()
+            switching = kinds.get("COMPARATOR", 0) + kinds.get("SWITCH2", 0)
+            assert switching <= 3 * n * lg
+            # total including real gate-level adders stays within 1.5x
+            assert net.cost() <= 1.5 * 3 * n * lg
+
+    def test_cost_slope_is_n_polylog(self):
+        from repro.analysis import loglog_slope
+
+        sizes = [64, 128, 256, 512]
+        costs = [build_prefix_sorter(n).cost() for n in sizes]
+        slope = loglog_slope(sizes, costs)
+        assert 1.0 < slope < 1.35  # n lg n territory
+
+    def test_depth_polylog(self):
+        from repro.analysis import loglog_slope
+
+        sizes = [64, 128, 256, 512]
+        depths = [build_prefix_sorter(n).depth() for n in sizes]
+        # depth grows ~lg^2 n: doubling n adds O(lg n), so slope in
+        # lg-space of depth vs lg n is ~2
+        slope = loglog_slope(
+            [math.log2(n) for n in sizes], depths
+        )
+        assert 1.4 < slope < 2.6
+
+    def test_depth_below_paper_bound(self):
+        # paper: D(n) = 3 lg^2 n + 2 lg n lg lg n
+        for n in (16, 64, 256):
+            lg = n.bit_length() - 1
+            bound = 3 * lg * lg + 2 * lg * math.log2(max(lg, 2))
+            assert build_prefix_sorter(n).depth() <= bound
+
+    def test_ripple_adder_cheaper_but_deeper(self):
+        ks = build_prefix_sorter(256, adder="prefix")
+        rp = build_prefix_sorter(256, adder="ripple")
+        assert rp.cost() < ks.cost()
+        assert rp.depth() >= ks.depth()

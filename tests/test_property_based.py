@@ -1,0 +1,118 @@
+"""Hypothesis property tests over the core data structures and networks."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.batcher import apply_schedule, odd_even_merge_schedule
+from repro.baselines.columnsort import columnsort, leighton_valid
+from repro.circuits import simulate, simulate_payload
+from repro.core import sequences as seq
+from repro.core.mux_merger import (
+    build_mux_merger_sorter,
+    mux_merge_behavioral,
+    mux_merger_sort_behavioral,
+)
+from repro.core.patchup import patchup_behavioral
+from repro.core.prefix_sorter import prefix_sort_behavioral
+
+# cache netlists across examples (hypothesis re-runs the body many times)
+_NETS = {}
+
+
+def _sorter(n):
+    if n not in _NETS:
+        _NETS[n] = build_mux_merger_sorter(n)
+    return _NETS[n]
+
+
+bits_pow2 = st.integers(1, 5).flatmap(
+    lambda p: st.lists(
+        st.integers(0, 1), min_size=1 << p, max_size=1 << p
+    )
+)
+
+
+@given(bits_pow2)
+def test_netlist_sorter_sorts_and_conserves(bits):
+    x = np.array(bits, dtype=np.uint8)
+    out = simulate(_sorter(x.size), x[None, :])[0]
+    assert seq.is_sorted_binary(out)
+    assert out.sum() == x.sum()
+
+
+@given(bits_pow2)
+def test_behavioral_sorters_agree(bits):
+    x = np.array(bits, dtype=np.uint8)
+    a = prefix_sort_behavioral(x)
+    b = mux_merger_sort_behavioral(x)
+    assert np.array_equal(a, b)
+    assert np.array_equal(a, np.sort(x))
+
+
+@given(bits_pow2)
+def test_payload_is_a_permutation(bits):
+    x = np.array(bits, dtype=np.uint8)
+    pays = np.arange(x.size, dtype=np.int64)
+    t, p = simulate_payload(_sorter(x.size), x[None, :], pays[None, :])
+    assert sorted(p[0].tolist()) == list(range(x.size))
+    assert all(x[pi] == ti for ti, pi in zip(t[0], p[0]))
+
+
+@given(st.integers(1, 4), st.data())
+def test_patchup_sorts_every_A_member_drawn(lg_half, data):
+    n = 2 << lg_half
+    members = seq.enumerate_A(n)
+    z = members[data.draw(st.integers(0, len(members) - 1))]
+    out = patchup_behavioral(z)
+    assert seq.is_sorted_binary(out) and out.sum() == z.sum()
+
+
+@given(st.integers(1, 5), st.data())
+def test_mux_merge_sorts_any_bisorted(lg_half, data):
+    h = 1 << lg_half
+    zu = data.draw(st.integers(0, h))
+    zl = data.draw(st.integers(0, h))
+    x = np.concatenate([seq.sorted_sequence(h, zu), seq.sorted_sequence(h, zl)])
+    out = mux_merge_behavioral(x)
+    assert seq.is_sorted_binary(out) and out.sum() == x.sum()
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=16, max_size=16))
+def test_batcher_schedule_sorts_arbitrary_integers(values):
+    out = apply_schedule(np.array(values), odd_even_merge_schedule(16))
+    assert np.array_equal(out, np.sort(values))
+
+
+@settings(deadline=None)
+@given(
+    st.sampled_from([(4, 2), (8, 2), (9, 3), (20, 4)]),
+    st.data(),
+)
+def test_columnsort_sorts_arbitrary_values(dims, data):
+    r, s = dims
+    assert leighton_valid(r, s)
+    values = data.draw(
+        st.lists(st.integers(-100, 100), min_size=r * s, max_size=r * s)
+    )
+    out = columnsort(np.array(values), r, s)
+    assert np.array_equal(out, np.sort(values))
+
+
+@given(st.integers(1, 6), st.data())
+def test_sorted_sequences_fixed_points(lg, data):
+    """Every sorter fixes already-sorted inputs."""
+    n = 1 << lg
+    ones = data.draw(st.integers(0, n))
+    x = seq.sorted_sequence(n, ones)
+    assert np.array_equal(prefix_sort_behavioral(x), x)
+    assert np.array_equal(mux_merger_sort_behavioral(x), x)
+
+
+@given(st.integers(2, 5), st.data())
+def test_reverse_sorted_is_worst_case_handled(lg, data):
+    n = 1 << lg
+    ones = data.draw(st.integers(0, n))
+    x = seq.sorted_sequence(n, ones)[::-1].copy()
+    out = simulate(_sorter(n), x[None, :])[0]
+    assert seq.is_sorted_binary(out) and out.sum() == x.sum()

@@ -1,0 +1,111 @@
+"""Hypothesis properties of the network classes over their input spaces.
+
+Uses the public strategies (repro.testing) against cached instances of
+the k-way machinery, clean sorters, concentrators, and permuters —
+the same quantification the paper's theorems use, applied to the built
+systems rather than the theorem statements.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import testing as rt
+from repro.circuits import simulate
+from repro.core import sequences as seq
+from repro.core.kway import CleanSorter, KWayMuxMerger, build_k_swap
+from repro.networks.concentrator import SortingConcentrator, check_concentration
+
+# cached instances (hypothesis re-runs bodies many times)
+_KWAY = KWayMuxMerger(32, 4)
+_CLEAN = CleanSorter(16, 4)
+_KSWAP = build_k_swap(32, 4)
+_CONC = SortingConcentrator(16)
+_HW_CLEAN = None
+
+
+def _hw_clean():
+    global _HW_CLEAN
+    if _HW_CLEAN is None:
+        from repro.core.hw_clean_sorter import HardwareCleanSorter
+
+        _HW_CLEAN = HardwareCleanSorter(16, 4)
+    return _HW_CLEAN
+
+
+@given(rt.k_sorted_sequences(k=4, min_lg_block=3, max_lg_block=3))
+def test_kway_merger_sorts_its_whole_domain(x):
+    out, _, _ = _KWAY.merge(x)
+    assert seq.is_sorted_binary(out)
+    assert out.sum() == x.sum()
+
+
+@given(rt.k_sorted_sequences(k=4, min_lg_block=3, max_lg_block=3))
+def test_kswap_theorem4_property(x):
+    y = simulate(_KSWAP, x[None, :])[0]
+    assert seq.is_clean_k_sorted(y[:16], 4)
+    assert seq.is_k_sorted(y[16:], 4)
+
+
+@given(rt.clean_k_sorted_sequences(k=4, min_lg_block=2, max_lg_block=2))
+def test_clean_sorter_domain(x):
+    out, _, _ = _CLEAN.sort(x)
+    assert seq.is_sorted_binary(out)
+    assert out.sum() == x.sum()
+
+
+@given(rt.clean_k_sorted_sequences(k=4, min_lg_block=2, max_lg_block=2))
+@settings(max_examples=25, deadline=None)
+def test_hw_clean_sorter_matches_orchestrated(x):
+    hw, _ = _hw_clean().sort(x)
+    sw, _, _ = _CLEAN.sort(x)
+    assert np.array_equal(hw, sw)
+
+
+@given(st.integers(0, 2 ** 16 - 1))
+def test_concentrator_every_request_mask(mask):
+    req = np.array([(mask >> i) & 1 for i in range(16)], dtype=np.uint8)
+    pays = np.arange(16, dtype=np.int64) + 100
+    res = _CONC.concentrate(req, pays)
+    assert check_concentration(req, pays, res)
+
+
+@given(st.permutations(list(range(8))))
+@settings(max_examples=40, deadline=None)
+def test_benes_every_permutation(perm):
+    from repro.networks.benes import BenesNetwork
+
+    global _BENES
+    try:
+        bn = _BENES
+    except NameError:
+        bn = _BENES = BenesNetwork(8)
+    pays = np.arange(8, dtype=np.int64)
+    out = bn.permute(list(perm), pays)
+    assert all(out[perm[i]] == pays[i] for i in range(8))
+
+
+@given(st.permutations(list(range(8))))
+@settings(max_examples=40, deadline=None)
+def test_radix_permuter_every_permutation(perm):
+    from repro.networks.permutation import RadixPermuter, check_permutation
+
+    global _RADIX
+    try:
+        rp = _RADIX
+    except NameError:
+        rp = _RADIX = RadixPermuter(8, backend="mux_merger")
+    pays = np.arange(8, dtype=np.int64)
+    out, _ = rp.permute(list(perm), pays)
+    assert check_permutation(list(perm), pays, out)
+
+
+@given(rt.binary_sequences(min_lg=2, max_lg=4))
+@settings(max_examples=30, deadline=None)
+def test_sort_bits_arbitrary_then_padded(x):
+    """sort_bits on a truncated (non-power-of-two) prefix still sorts."""
+    from repro.core.api import sort_bits
+
+    trunc = x[: max(1, x.size - 3)]
+    out = sort_bits(trunc)
+    assert out.tolist() == sorted(trunc.tolist())

@@ -1,0 +1,74 @@
+"""Large-n stress tests (marked slow; a few seconds each).
+
+These push the constructions to sizes where asymptotics dominate
+constants, catching any accidental quadratic behavior in construction
+or simulation paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import loglog_slope, verify_netlist_random
+from repro.core import build_mux_merger_sorter, build_prefix_sorter
+from repro.core.fish_sorter import FishSorter
+from repro.core.sequences import is_sorted_binary
+
+pytestmark = pytest.mark.slow
+
+
+class TestLargeCombinational:
+    @pytest.mark.parametrize("n", [2048, 4096])
+    def test_mux_merger_large(self, n):
+        net = build_mux_merger_sorter(n)
+        lg = n.bit_length() - 1
+        assert net.cost() <= 4 * n * lg
+        assert verify_netlist_random(net, trials=16)
+
+    def test_prefix_large(self):
+        n = 2048
+        net = build_prefix_sorter(n)
+        assert verify_netlist_random(net, trials=16)
+
+    def test_cost_slopes_at_scale(self):
+        sizes = [1024, 2048, 4096, 8192]
+        costs = [build_mux_merger_sorter(n).cost() for n in sizes]
+        assert 1.0 < loglog_slope(sizes, costs) < 1.25
+
+
+class TestLargeFish:
+    def test_fish_8192(self):
+        fs = FishSorter(8192)
+        assert fs.cost() / 8192 < 18  # the constant holds at scale
+        x = np.random.default_rng(0).integers(0, 2, 8192).astype(np.uint8)
+        out, rep = fs.sort(x, pipelined=True)
+        assert is_sorted_binary(out)
+        assert out.sum() == x.sum()
+        lg = 13
+        assert rep.sorting_time <= 4 * lg * lg
+
+    def test_fish_cost_slope_at_scale(self):
+        sizes = [2048, 4096, 8192]
+        costs = [FishSorter(n).cost() for n in sizes]
+        assert loglog_slope(sizes, costs) < 1.1
+
+
+class TestLargePermuter:
+    def test_radix_permuter_2048(self):
+        from repro.networks.permutation import RadixPermuter, check_permutation
+
+        rng = np.random.default_rng(1)
+        rp = RadixPermuter(2048, backend="fish")
+        perm = rng.permutation(2048)
+        pays = np.arange(2048, dtype=np.int64)
+        out, _ = rp.permute(perm, pays)
+        assert check_permutation(perm, pays, out)
+
+    def test_benes_4096(self):
+        from repro.networks.benes import BenesNetwork
+
+        rng = np.random.default_rng(2)
+        bn = BenesNetwork(4096)
+        perm = rng.permutation(4096)
+        pays = np.arange(4096, dtype=np.int64)
+        out = bn.permute(perm, pays)
+        assert all(out[perm[i]] == pays[i] for i in range(0, 4096, 37))

@@ -1,0 +1,154 @@
+"""Unit tests for the paper's sequence classes (Definitions 1-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import sequences as seq
+
+
+class TestPredicates:
+    def test_sorted(self):
+        assert seq.is_sorted_binary([0, 0, 1, 1])
+        assert not seq.is_sorted_binary([0, 1, 0])
+        assert seq.is_sorted_binary([])
+        assert seq.is_sorted_binary([1])
+
+    def test_clean(self):
+        assert seq.is_clean([0, 0, 0])
+        assert seq.is_clean([1, 1])
+        assert not seq.is_clean([0, 1])
+        assert seq.is_clean([])
+
+    def test_bisorted(self):
+        assert seq.is_bisorted([0, 1, 0, 1])
+        assert not seq.is_bisorted([1, 0, 0, 1])
+        with pytest.raises(ValueError):
+            seq.is_bisorted([0, 1, 0])
+
+    def test_k_sorted(self):
+        # Definition 4's example: 1111/0001/0011/0111 is 4-sorted
+        assert seq.is_k_sorted([1, 1, 1, 1, 0, 0, 0, 1, 0, 0, 1, 1, 0, 1, 1, 1], 4)
+        assert not seq.is_k_sorted([1, 0, 1, 1], 2)
+
+    def test_clean_k_sorted(self):
+        # Definition 5's example: 1111/0000/0000/1111
+        assert seq.is_clean_k_sorted([1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1], 4)
+        assert not seq.is_clean_k_sorted([1, 1, 0, 1], 2)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            seq.as_bits([0, 2, 1])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            seq.as_bits([[0, 1], [1, 0]])
+
+
+class TestAMembership:
+    def test_paper_examples_in_A8(self):
+        # Definition 1's examples of A_8 members
+        assert seq.in_A([0, 0, 0, 0, 1, 0, 1, 0])      # 0000/1010
+        assert seq.in_A([0, 0, 1, 0, 1, 0, 1, 1])      # 00/1010/11
+        assert seq.in_A([1, 0, 1, 0, 1, 0, 1, 1])      # 101010/11
+        assert seq.in_A([0, 0, 0, 1, 0, 1, 1, 1])      # 00/0101/11
+        assert seq.in_A([1] * 8)                        # 11111111
+
+    def test_non_members(self):
+        assert not seq.in_A([0, 1, 1, 0])
+        assert not seq.in_A([1, 0, 0, 1, 0, 0, 0, 0])
+
+    def test_every_sorted_sequence_in_A(self):
+        # Remark after Definition 1
+        for n in (2, 4, 8, 16):
+            for ones in range(n + 1):
+                assert seq.in_A(seq.sorted_sequence(n, ones))
+
+    def test_enumerate_matches_regex_filter(self):
+        # cross-check the block-split enumerator against brute force
+        from repro.circuits import exhaustive_inputs
+
+        for n in (2, 4, 6, 8):
+            brute = {tuple(v) for v in exhaustive_inputs(n) if seq.in_A(v)}
+            enum = {tuple(v) for v in seq.enumerate_A(n)}
+            assert brute == enum
+
+    def test_enumerate_sorted_unique(self):
+        out = seq.enumerate_A(8)
+        as_lists = [v.tolist() for v in out]
+        assert as_lists == sorted(as_lists)
+        assert len({tuple(v) for v in as_lists}) == len(out)
+
+    def test_enumerate_odd_rejected(self):
+        with pytest.raises(ValueError):
+            seq.enumerate_A(5)
+
+
+class TestCountA:
+    @pytest.mark.parametrize("n", [0, 2, 4, 6, 8, 10, 12, 14, 16])
+    def test_matches_enumeration(self, n):
+        assert seq.count_A(n) == len(seq.enumerate_A(n))
+
+    def test_scales_to_large_n(self):
+        # |A_n| grows quadratically (block-split choices): n^2 + O(n)
+        c = seq.count_A(256)
+        assert 250 ** 2 < c < 260 ** 2
+
+    def test_growth_is_quadratic(self):
+        from repro.analysis import loglog_slope
+
+        ns = [32, 64, 128, 256]
+        cs = [seq.count_A(n) for n in ns]
+        assert abs(loglog_slope(ns, cs) - 2.0) < 0.1
+
+    def test_fraction_of_all_sequences_vanishes(self):
+        # A_n is an exponentially thin slice of {0,1}^n — the reason the
+        # patch-up network is so much cheaper than a general sorter
+        assert seq.count_A(16) / 2 ** 16 < 0.005
+
+    def test_odd_rejected(self):
+        with pytest.raises(ValueError):
+            seq.count_A(3)
+
+
+class TestGenerators:
+    def test_sorted_sequence(self):
+        assert seq.sorted_sequence(4, 1).tolist() == [0, 0, 0, 1]
+        with pytest.raises(ValueError):
+            seq.sorted_sequence(4, 5)
+
+    def test_random_sorted(self, rng):
+        for _ in range(50):
+            assert seq.is_sorted_binary(seq.random_sorted(16, rng))
+
+    def test_random_bisorted(self, rng):
+        for _ in range(50):
+            assert seq.is_bisorted(seq.random_bisorted(16, rng))
+
+    def test_random_k_sorted(self, rng):
+        for _ in range(50):
+            assert seq.is_k_sorted(seq.random_k_sorted(16, 4, rng), 4)
+
+    def test_random_clean_k_sorted(self, rng):
+        for _ in range(50):
+            assert seq.is_clean_k_sorted(seq.random_clean_k_sorted(16, 4, rng), 4)
+
+    def test_shuffle_concat_paper_example(self):
+        out = seq.shuffle_concat([1, 1, 1, 1], [0, 0, 0, 1])
+        assert out.tolist() == [1, 0, 1, 0, 1, 0, 1, 1]
+
+    def test_shuffle_concat_length_mismatch(self):
+        with pytest.raises(ValueError):
+            seq.shuffle_concat([1, 1], [0])
+
+
+@given(st.integers(1, 4).map(lambda p: 1 << p), st.data())
+def test_property_A_closed_under_complement_reversal(lg, data):
+    """A_n is closed under reversal of the bit-complement (by symmetry of
+    the defining regular expression)."""
+    n = lg * 2
+    members = seq.enumerate_A(n)
+    idx = data.draw(st.integers(0, len(members) - 1))
+    v = members[idx]
+    assert seq.in_A((1 - v)[::-1])

@@ -1,0 +1,182 @@
+"""Unit tests for Model B machinery: timelines, levelization, pipelining."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CircuitBuilder,
+    PipelinedNetlist,
+    Timeline,
+    levelize,
+    run_pipelined,
+    run_time_multiplexed,
+    simulate,
+)
+from repro.core import build_mux_merger_sorter
+
+
+class TestTimeline:
+    def test_advance_accumulates(self):
+        t = Timeline()
+        assert t.advance(5, "a") == 5
+        assert t.advance(3, "b") == 8
+        assert t.now == 8
+
+    def test_advance_to_joins(self):
+        t = Timeline()
+        t.advance(5, "a")
+        assert t.advance_to(9, "join") == 9
+        assert t.advance_to(4, "noop") == 9  # already past
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().advance(-1, "x")
+
+    def test_breakdown(self):
+        t = Timeline()
+        t.advance(2, "sort")
+        t.advance(3, "merge")
+        t.advance(4, "sort")
+        assert t.breakdown() == {"sort": 6, "merge": 3}
+
+    def test_segments_record_start(self):
+        t = Timeline()
+        t.advance(2, "a")
+        t.advance(3, "b")
+        assert t.segments[1].start == 2
+        assert t.segments[1].end == 5
+
+
+class TestLevelize:
+    def test_chain_levels(self):
+        b = CircuitBuilder()
+        x = b.add_input()
+        y = b.not_(b.not_(x))
+        net = b.build([y])
+        lv = levelize(net)
+        assert lv.n_levels == 2
+        assert lv.wire_levels[net.outputs[0]] == 2
+
+    def test_balance_registers_counted(self):
+        # x feeds both a depth-3 chain and directly the final AND:
+        # the direct wire must be delayed 2 extra stages
+        b = CircuitBuilder()
+        x = b.add_input()
+        chain = b.not_(b.not_(b.not_(x)))
+        out = b.and_(x, chain)
+        net = b.build([out])
+        lv = levelize(net)
+        assert lv.n_levels == 4
+        assert lv.balance_registers >= 2
+
+
+class TestPipelinedNetlist:
+    def _random_net(self, rng, n_inputs=6, n_elems=25):
+        b = CircuitBuilder()
+        wires = list(b.add_inputs(n_inputs))
+        for _ in range(n_elems):
+            op = rng.integers(0, 5)
+            a = wires[rng.integers(0, len(wires))]
+            c = wires[rng.integers(0, len(wires))]
+            if op == 0:
+                wires.append(b.and_(a, c))
+            elif op == 1:
+                wires.append(b.or_(a, c))
+            elif op == 2:
+                wires.append(b.xor(a, c))
+            elif op == 3:
+                wires.extend(b.comparator(a, c))
+            else:
+                d = wires[rng.integers(0, len(wires))]
+                wires.extend(b.switch2(a, c, d))
+        outs = [wires[i] for i in rng.integers(0, len(wires), size=4)]
+        return b.build(outs)
+
+    def test_matches_combinational_on_random_circuits(self, rng):
+        for _ in range(10):
+            net = self._random_net(rng)
+            pl = PipelinedNetlist(net)
+            batch = rng.integers(0, 2, (8, len(net.inputs))).astype(np.uint8)
+            expect = simulate(net, batch)
+            outs, cycles = pl.run([row.tolist() for row in batch])
+            assert np.array_equal(np.array(outs, dtype=np.uint8), expect)
+            assert cycles == len(batch) - 1 + pl.latency
+
+    def test_latency_equals_depth(self):
+        net = build_mux_merger_sorter(8)
+        pl = PipelinedNetlist(net)
+        assert pl.latency == net.depth()
+
+    def test_streaming_order_preserved(self):
+        net = build_mux_merger_sorter(8)
+        pl = PipelinedNetlist(net)
+        batches = [
+            [1, 0, 0, 0, 0, 0, 0, 0],
+            [1, 1, 1, 0, 0, 0, 0, 0],
+            [1, 1, 1, 1, 1, 1, 1, 0],
+        ]
+        outs, _ = pl.run(batches)
+        for vec, out in zip(batches, outs):
+            assert out == sorted(vec)
+
+    def test_bubbles_return_none(self):
+        b = CircuitBuilder()
+        x = b.add_input()
+        net = b.build([b.not_(x)])
+        pl = PipelinedNetlist(net)
+        assert pl.step([1]) is None  # filling
+        assert pl.step(None) == [0]  # first result emerges
+        assert pl.step([0]) is None  # bubble slot propagates
+        assert pl.step(None) == [1]
+
+    def test_handles_depth_zero_buffers(self):
+        b = CircuitBuilder()
+        x, y = b.add_inputs(2)
+        net = b.build([b.buf(x), b.and_(b.buf(x), y)])
+        pl = PipelinedNetlist(net)
+        outs, _ = pl.run([[1, 1], [1, 0]])
+        assert outs == [[1, 1], [1, 0]]
+
+    def test_constants_flow(self):
+        b = CircuitBuilder()
+        x = b.add_input()
+        net = b.build([b.and_(b.not_(x), b.const(1))])
+        pl = PipelinedNetlist(net)
+        outs, _ = pl.run([[0], [1]])
+        assert outs == [[1], [0]]
+
+    def test_wrong_width_rejected(self):
+        net = build_mux_merger_sorter(8)
+        pl = PipelinedNetlist(net)
+        with pytest.raises(ValueError):
+            pl.step([1, 0])
+
+
+class TestRunHelpers:
+    def test_time_multiplexed_charges_k_times_depth(self):
+        net = build_mux_merger_sorter(8)
+        t = Timeline()
+        groups = [[1, 0, 1, 0, 1, 0, 1, 0]] * 3
+        outs = run_time_multiplexed(net, groups, t)
+        assert len(outs) == 3
+        assert t.now == 3 * net.depth()
+        assert all(o.tolist() == sorted(groups[0]) for o in outs)
+
+    def test_pipelined_charges_makespan(self):
+        net = build_mux_merger_sorter(8)
+        t = Timeline()
+        groups = [[1, 1, 0, 0, 1, 0, 1, 0]] * 5
+        outs = run_pipelined(net, groups, t)
+        assert len(outs) == 5
+        assert t.now == 4 + net.depth()
+
+    def test_pipelined_empty(self):
+        net = build_mux_merger_sorter(8)
+        assert run_pipelined(net, []) == []
+
+    def test_pipelined_matches_register_machine(self, rng):
+        net = build_mux_merger_sorter(8)
+        groups = rng.integers(0, 2, (6, 8)).astype(np.uint8)
+        fast = run_pipelined(net, [g.tolist() for g in groups])
+        slow, _ = PipelinedNetlist(net).run([g.tolist() for g in groups])
+        assert [o.tolist() for o in fast] == slow

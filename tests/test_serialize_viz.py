@@ -1,0 +1,85 @@
+"""Unit tests for netlist serialization and DOT export."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import exhaustive_inputs, simulate
+from repro.circuits.serialize import from_json, load, save, to_json
+from repro.core import build_mux_merger_sorter, build_prefix_sorter
+from repro.viz.dot import to_dot
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("builder", [build_mux_merger_sorter, build_prefix_sorter])
+    def test_roundtrip_preserves_behavior(self, builder):
+        net = builder(8)
+        back = from_json(to_json(net))
+        inp = exhaustive_inputs(8)
+        assert np.array_equal(simulate(net, inp), simulate(back, inp))
+
+    def test_roundtrip_preserves_accounting(self):
+        net = build_mux_merger_sorter(16)
+        back = from_json(to_json(net))
+        assert back.cost() == net.cost()
+        assert back.depth() == net.depth()
+        assert back.stats().by_kind == net.stats().by_kind
+
+    def test_switch4_params_roundtrip(self):
+        net = build_mux_merger_sorter(8)  # contains SWITCH4 elements
+        back = from_json(to_json(net))
+        orig = [e.params for e in net.elements if e.kind == "SWITCH4"]
+        got = [e.params for e in back.elements if e.kind == "SWITCH4"]
+        assert orig == got
+
+    def test_constants_roundtrip(self):
+        net = build_prefix_sorter(4)
+        back = from_json(to_json(net))
+        assert back.constants == net.constants
+
+    def test_file_roundtrip(self, tmp_path):
+        net = build_mux_merger_sorter(8)
+        path = tmp_path / "net.json"
+        save(net, path)
+        back = load(path)
+        assert back.cost() == net.cost()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            from_json('{"format": 99}')
+
+    def test_tampered_json_fails_validation(self):
+        import json
+
+        net = build_mux_merger_sorter(8)
+        payload = json.loads(to_json(net))
+        payload["elements"][0]["ins"] = [10**6]  # out-of-range wire
+        with pytest.raises(ValueError):
+            from_json(json.dumps(payload))
+
+
+class TestDotExport:
+    def test_contains_elements_and_edges(self):
+        net = build_mux_merger_sorter(4)
+        dot = to_dot(net)
+        assert dot.startswith("digraph")
+        assert "COMPARATOR" in dot
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_output_marked(self):
+        net = build_mux_merger_sorter(4)
+        assert "doublecircle" in to_dot(net)
+
+    def test_size_guard(self):
+        net = build_mux_merger_sorter(64)
+        with pytest.raises(ValueError, match="max_elements"):
+            to_dot(net, max_elements=10)
+        # explicit raise works
+        assert to_dot(net, max_elements=None)
+
+    def test_node_count_matches(self):
+        net = build_mux_merger_sorter(4)
+        dot = to_dot(net)
+        assert dot.count("shape=box") >= len(
+            [e for e in net.elements if e.kind == "COMPARATOR"]
+        )

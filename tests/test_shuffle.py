@@ -1,0 +1,75 @@
+"""Unit tests for shuffle wirings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.components import (
+    apply_indices,
+    k_way_shuffle,
+    k_way_shuffle_indices,
+    k_way_unshuffle,
+    k_way_unshuffle_indices,
+    two_way_shuffle,
+    two_way_unshuffle,
+)
+
+
+class TestTwoWay:
+    def test_interleaves_halves(self):
+        assert two_way_shuffle([0, 1, 2, 3, 4, 5, 6, 7]) == [0, 4, 1, 5, 2, 6, 3, 7]
+
+    def test_unshuffle_inverts(self):
+        items = list("abcdefgh")
+        assert two_way_unshuffle(two_way_shuffle(items)) == items
+
+    def test_paper_example(self):
+        # Example 1: Xu = 1111, XL = 0001 -> shuffle gives 10101011
+        out = two_way_shuffle([1, 1, 1, 1, 0, 0, 0, 1])
+        assert out == [1, 0, 1, 0, 1, 0, 1, 1]
+
+
+class TestKWay:
+    @pytest.mark.parametrize("n,k", [(8, 2), (8, 4), (16, 4), (12, 3), (16, 8)])
+    def test_roundtrip(self, n, k):
+        items = list(range(n))
+        assert k_way_unshuffle(k_way_shuffle(items, k), k) == items
+
+    def test_four_way_layout(self):
+        # out[k*i + j] = block j element i
+        out = k_way_shuffle(list(range(8)), 4)
+        assert out == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_indices_inverse_composition(self):
+        n, k = 16, 4
+        fwd = k_way_shuffle_indices(n, k)
+        inv = k_way_unshuffle_indices(n, k)
+        assert apply_indices(apply_indices(list(range(n)), fwd), inv) == list(range(n))
+
+    def test_two_way_equals_k2(self):
+        items = list(range(10))
+        assert two_way_shuffle(items) == k_way_shuffle(items, 2)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            k_way_shuffle(list(range(10)), 4)
+        with pytest.raises(ValueError):
+            k_way_shuffle(list(range(4)), 0)
+
+    def test_apply_indices_length_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_indices([1, 2], [0])
+
+
+@given(st.integers(1, 5), st.integers(1, 5))
+def test_property_shuffle_is_permutation(log_m, k_pow):
+    k = 1 << (k_pow % 3 + 1)
+    n = k * (1 << log_m)
+    idx = k_way_shuffle_indices(n, k)
+    assert sorted(idx) == list(range(n))
+
+
+@given(st.lists(st.integers(), min_size=2, max_size=64).filter(lambda v: len(v) % 2 == 0))
+def test_property_two_way_roundtrip(values):
+    assert two_way_unshuffle(two_way_shuffle(values)) == values

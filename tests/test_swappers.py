@@ -1,0 +1,146 @@
+"""Unit tests for swapping networks (Fig. 2, k-SWAP)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder, simulate
+from repro.components import (
+    four_way_swapper,
+    k_swap,
+    quarter_perm_from_cycles,
+    two_way_swapper,
+)
+
+
+def _two_way(n):
+    b = CircuitBuilder()
+    ws = b.add_inputs(n)
+    c = b.add_input()
+    return b.build(two_way_swapper(b, ws, c))
+
+
+class TestTwoWaySwapper:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_cost_and_depth(self, n):
+        net = _two_way(n)
+        assert net.cost() == n // 2  # paper: n/2 switches
+        assert net.depth() == 1
+
+    def test_control_zero_is_identity(self, rng):
+        net = _two_way(8)
+        vec = rng.integers(0, 2, 8).tolist()
+        assert simulate(net, [vec + [0]])[0].tolist() == vec
+
+    def test_control_one_swaps_halves(self, rng):
+        net = _two_way(8)
+        vec = rng.integers(0, 2, 8).tolist()
+        out = simulate(net, [vec + [1]])[0].tolist()
+        assert out == vec[4:] + vec[:4]
+
+    def test_odd_width_rejected(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(5)
+        c = b.add_input()
+        with pytest.raises(ValueError):
+            two_way_swapper(b, ws, c)
+
+
+class TestQuarterPermFromCycles:
+    def test_identity(self):
+        assert quarter_perm_from_cycles() == (0, 1, 2, 3)
+
+    def test_swap_23(self):
+        # (23): quarter 2 -> position 3, quarter 3 -> position 2
+        assert quarter_perm_from_cycles([2, 3]) == (0, 2, 1, 3)
+
+    def test_three_cycle(self):
+        # (234): 2->3, 3->4, 4->2
+        perm = quarter_perm_from_cycles([2, 3, 4])
+        # output position 2 (index 1) gets quarter 4 (index 3)
+        assert perm == (0, 3, 1, 2)
+
+    def test_double_transposition(self):
+        assert quarter_perm_from_cycles([1, 3], [2, 4]) == (2, 3, 0, 1)
+
+    def test_invalid_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            quarter_perm_from_cycles([1, 1])
+
+
+class TestFourWaySwapper:
+    PERMS = (
+        (0, 1, 2, 3),
+        (1, 0, 3, 2),
+        (3, 2, 1, 0),
+        (2, 3, 0, 1),
+    )
+
+    def _net(self, n):
+        b = CircuitBuilder()
+        ws = b.add_inputs(n)
+        s1, s0 = b.add_inputs(2)
+        return b.build(four_way_swapper(b, ws, s1, s0, self.PERMS))
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 64])
+    def test_cost_and_depth(self, n):
+        net = self._net(n)
+        assert net.cost() == n  # n/4 4x4 switches at cost 4 each
+        assert net.depth() == 1
+
+    @pytest.mark.parametrize("sel", [0, 1, 2, 3])
+    def test_applies_quarter_permutation(self, sel, rng):
+        n = 16
+        net = self._net(n)
+        vec = rng.integers(0, 2, n).tolist()
+        out = simulate(net, [vec + [(sel >> 1) & 1, sel & 1]])[0].tolist()
+        q = n // 4
+        quarters = [vec[i * q : (i + 1) * q] for i in range(4)]
+        expect = sum((quarters[self.PERMS[sel][i]] for i in range(4)), [])
+        assert out == expect
+
+    def test_needs_multiple_of_four(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(6)
+        s1, s0 = b.add_inputs(2)
+        with pytest.raises(ValueError):
+            four_way_swapper(b, ws, s1, s0, self.PERMS)
+
+    def test_needs_four_perms(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(8)
+        s1, s0 = b.add_inputs(2)
+        with pytest.raises(ValueError):
+            four_way_swapper(b, ws, s1, s0, self.PERMS[:3])
+
+
+class TestKSwap:
+    def test_independent_block_controls(self, rng):
+        n, k = 16, 4
+        b = CircuitBuilder()
+        ws = b.add_inputs(n)
+        cs = b.add_inputs(k)
+        net = b.build(k_swap(b, ws, cs))
+        vec = rng.integers(0, 2, n).tolist()
+        controls = [1, 0, 1, 0]
+        out = simulate(net, [vec + controls])[0].tolist()
+        m = n // k
+        expect = []
+        for i, c in enumerate(controls):
+            block = vec[i * m : (i + 1) * m]
+            expect.extend(block[m // 2 :] + block[: m // 2] if c else block)
+        assert out == expect
+
+    def test_cost(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(16)
+        cs = b.add_inputs(4)
+        net = b.build(k_swap(b, ws, cs))
+        assert net.cost() == 8  # n/2
+        assert net.depth() == 1
+
+    def test_invalid_split_rejected(self):
+        b = CircuitBuilder()
+        ws = b.add_inputs(10)
+        cs = b.add_inputs(4)
+        with pytest.raises(ValueError):
+            k_swap(b, ws, cs)

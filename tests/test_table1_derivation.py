@@ -1,0 +1,74 @@
+"""Tests for the programmatic Table I derivation."""
+
+import numpy as np
+import pytest
+
+from repro.core.mux_merger import IN_SWAP_PERMS, OUT_SWAP_PERMS
+from repro.core.table1 import (
+    CASES,
+    Table1Assignment,
+    candidate_in_perms,
+    derive_table1,
+    matching_out_perms,
+)
+
+
+class TestCandidates:
+    def test_candidate_counts(self):
+        # 2 orders for the clean pair x 2 orders for the bisorted pair
+        for sel in range(4):
+            assert len(candidate_in_perms(sel)) == 4
+
+    def test_candidates_are_permutations(self):
+        for sel in range(4):
+            for perm in candidate_in_perms(sel):
+                assert sorted(perm) == [0, 1, 2, 3]
+
+    def test_pair_lands_at_bottom(self):
+        for sel in range(4):
+            _, pair, _ = CASES[sel]
+            for perm in candidate_in_perms(sel):
+                assert set(perm[2:]) == set(pair)
+
+    def test_out_variants_for_identical_cleans(self):
+        # cases 00/11 have two interchangeable clean quarters
+        ip = candidate_in_perms(0)[0]
+        assert len(matching_out_perms(0, ip)) == 2
+        ip = candidate_in_perms(1)[0]
+        assert len(matching_out_perms(1, ip)) == 1
+
+
+class TestDerivation:
+    @pytest.fixture(scope="class")
+    def derived(self):
+        return derive_table1(verify_n=8, max_results=2000)
+
+    def test_every_structural_candidate_verifies(self, derived):
+        # 8 * 4 * 4 * 8 combinations, all functionally correct
+        assert len(derived) == 1024
+
+    def test_shipped_tables_are_derived(self, derived):
+        assert any(
+            r.in_perms == IN_SWAP_PERMS and r.out_perms == OUT_SWAP_PERMS
+            for r in derived
+        )
+
+    def test_sampled_assignments_sort_at_larger_n(self, derived, rng):
+        from repro.circuits import simulate
+        from repro.core.mux_merger import build_mux_merger
+        from repro.core.sequences import is_sorted_binary, sorted_sequence
+
+        for idx in rng.integers(0, len(derived), size=4):
+            r = derived[int(idx)]
+            net = build_mux_merger(32, r.in_perms, r.out_perms)
+            for zu in range(0, 17, 4):
+                for zl in range(0, 17, 4):
+                    x = np.concatenate(
+                        [sorted_sequence(16, zu), sorted_sequence(16, zl)]
+                    )
+                    assert is_sorted_binary(simulate(net, x[None, :])[0])
+
+    def test_max_results_cap(self):
+        capped = derive_table1(verify_n=8, max_results=3)
+        assert len(capped) == 3
+        assert all(isinstance(r, Table1Assignment) for r in capped)

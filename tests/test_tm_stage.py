@@ -1,0 +1,80 @@
+"""Tests for the generic time-multiplexed FSM stage (Model B hardware)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.batcher import build_odd_even_merge_sorter
+from repro.circuits import CircuitBuilder, build_time_multiplexed_stage, simulate
+from repro.core import build_mux_merger_sorter
+from repro.core.fish_sorter import FishSorter
+
+
+class TestTimeMultiplexedStage:
+    @pytest.mark.parametrize("k,g", [(2, 4), (4, 8), (8, 4)])
+    def test_sorts_all_groups(self, k, g, rng):
+        inner = build_mux_merger_sorter(g)
+        stage = build_time_multiplexed_stage(inner, k)
+        n = k * g
+        for _ in range(15):
+            x = rng.integers(0, 2, n).astype(np.uint8)
+            stage.reset()
+            out = stage.run(x.tolist(), k)
+            expect = np.concatenate(
+                [np.sort(x[i * g : (i + 1) * g]) for i in range(k)]
+            )
+            assert np.array_equal(np.array(out, dtype=np.uint8), expect)
+
+    def test_incomplete_run_leaves_later_groups_blank(self, rng):
+        inner = build_mux_merger_sorter(4)
+        stage = build_time_multiplexed_stage(inner, 4)
+        x = np.ones(16, dtype=np.uint8)
+        stage.reset()
+        out = stage.run(x.tolist(), 2)  # only two of four ticks
+        assert out[:8] == [1] * 8
+        assert out[8:] == [0] * 8  # staging registers still clear
+
+    def test_works_with_any_inner_network(self, rng):
+        inner = build_odd_even_merge_sorter(8)
+        stage = build_time_multiplexed_stage(inner, 2)
+        x = rng.integers(0, 2, 16).astype(np.uint8)
+        stage.reset()
+        out = stage.run(x.tolist(), 2)
+        expect = np.concatenate([np.sort(x[:8]), np.sort(x[8:])])
+        assert np.array_equal(np.array(out, dtype=np.uint8), expect)
+
+    def test_matches_fish_phase1(self, rng):
+        """The FSM stage computes exactly the fish sorter's phase 1."""
+        fs = FishSorter(32, k=4)
+        stage = build_time_multiplexed_stage(fs.group_sorter, 4)
+        x = rng.integers(0, 2, 32).astype(np.uint8)
+        stage.reset()
+        out = np.array(stage.run(x.tolist(), 4), dtype=np.uint8)
+        g = 8
+        expect = np.concatenate(
+            [np.sort(x[i * g : (i + 1) * g]) for i in range(4)]
+        )
+        assert np.array_equal(out, expect)
+
+    def test_hardware_sharing_saves_cost(self):
+        """One shared inner sorter + mux/demux/registers vs k copies —
+        the saving that justifies Model B."""
+        g, k = 16, 8
+        inner = build_mux_merger_sorter(g)
+        stage = build_time_multiplexed_stage(inner, k)
+        parallel_cost = k * inner.cost()
+        assert stage.combinational_cost() < parallel_cost
+
+    def test_validation(self):
+        inner = build_mux_merger_sorter(4)
+        with pytest.raises(ValueError):
+            build_time_multiplexed_stage(inner, 3)
+        b = CircuitBuilder()
+        x, y = b.add_inputs(2)
+        lopsided = b.build([b.and_(x, y)])  # 2 in, 1 out
+        with pytest.raises(ValueError):
+            build_time_multiplexed_stage(lopsided, 2)
+
+    def test_simulator_rejects_non_binary(self):
+        net = build_mux_merger_sorter(4)
+        with pytest.raises(ValueError, match="0/1"):
+            simulate(net, [[0, 1, 2, 0]])

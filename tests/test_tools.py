@@ -1,0 +1,105 @@
+"""Tests for the report aggregator tool."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).parent.parent / "tools"
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location(
+        "collect_results", TOOLS / "collect_results.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestCollectResults:
+    def test_collects_existing_results(self, tmp_path):
+        mod = _load()
+        # synthesize a results dir
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "bench_fig01_sorting_network.test_x.txt").write_text("TABLE A")
+        (results / "bench_unknown_module.test_y.txt").write_text("TABLE B")
+        mod.RESULTS = results
+        out = tmp_path / "REPORT.md"
+        assert mod.collect(out) == 0
+        text = out.read_text()
+        assert "Fig. 1" in text
+        assert "TABLE A" in text
+        assert "bench_unknown_module" in text  # unlisted modules still emitted
+        assert "TABLE B" in text
+
+    def test_missing_dir_fails_gracefully(self, tmp_path, capsys):
+        mod = _load()
+        mod.RESULTS = tmp_path / "nope"
+        assert mod.collect(tmp_path / "out.md") == 1
+
+    def test_empty_dir_fails_gracefully(self, tmp_path):
+        mod = _load()
+        empty = tmp_path / "results"
+        empty.mkdir()
+        mod.RESULTS = empty
+        assert mod.collect(tmp_path / "out.md") == 1
+
+    def test_titles_cover_all_benches(self):
+        mod = _load()
+        bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+        modules = {p.stem for p in bench_dir.glob("bench_*.py")}
+        assert modules <= set(mod.TITLES), modules - set(mod.TITLES)
+
+
+class TestCompareSweeps:
+    def _mod(self):
+        spec = importlib.util.spec_from_file_location(
+            "compare_sweeps", TOOLS / "compare_sweeps.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def _write(self, path, records):
+        import json
+
+        path.write_text(json.dumps(records))
+
+    def test_no_drift(self, tmp_path):
+        mod = self._mod()
+        recs = [{"network": "fish", "n": 64, "cost": 928, "depth": 9, "time": 144}]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, recs)
+        self._write(b, recs)
+        assert mod.main([str(a), str(b)]) == 0
+
+    def test_drift_detected(self, tmp_path, capsys):
+        mod = self._mod()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, [{"network": "fish", "n": 64, "cost": 928, "depth": 9, "time": 144}])
+        self._write(b, [{"network": "fish", "n": 64, "cost": 1000, "depth": 9, "time": 144}])
+        assert mod.main([str(a), str(b)]) == 1
+        assert "cost 928 -> 1000" in capsys.readouterr().out
+
+    def test_tolerance_suppresses_small_drift(self, tmp_path):
+        mod = self._mod()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, [{"network": "fish", "n": 64, "cost": 1000, "depth": 9, "time": 144}])
+        self._write(b, [{"network": "fish", "n": 64, "cost": 1010, "depth": 9, "time": 144}])
+        assert mod.main([str(a), str(b), "--tol", "0.05"]) == 0
+
+    def test_missing_records_reported(self, tmp_path):
+        mod = self._mod()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, [{"network": "fish", "n": 64, "cost": 1, "depth": 1, "time": 1}])
+        self._write(b, [{"network": "fish", "n": 128, "cost": 1, "depth": 1, "time": 1}])
+        assert mod.main([str(a), str(b)]) == 1
+
+    def test_missing_file(self, tmp_path):
+        mod = self._mod()
+        a = tmp_path / "a.json"
+        self._write(a, [])
+        assert mod.main([str(a), str(tmp_path / "nope.json")]) == 2

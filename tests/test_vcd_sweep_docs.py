@@ -1,0 +1,146 @@
+"""Tests for VCD export, the sweep tool, the API doc generator, and
+schedule compaction."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.zero_one import compact_stages, extract_comparator_schedule
+from repro.baselines.batcher import build_odd_even_merge_sorter
+from repro.circuits.vcd import VcdRecorder, record_sequential
+
+TOOLS = pathlib.Path(__file__).parent.parent / "tools"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, TOOLS / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestCompactStages:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_recovers_network_depth(self, n):
+        net = build_odd_even_merge_sorter(n)
+        sched = extract_comparator_schedule(net)
+        compact = compact_stages(sched)
+        assert len(compact) == net.depth()
+
+    def test_preserves_comparator_count(self):
+        net = build_odd_even_merge_sorter(16)
+        sched = extract_comparator_schedule(net)
+        compact = compact_stages(sched)
+        assert sum(len(s) for s in compact) == net.cost()
+
+    def test_stages_are_disjoint(self):
+        net = build_odd_even_merge_sorter(16)
+        for stage in compact_stages(extract_comparator_schedule(net)):
+            lines = [x for pair in stage for x in pair]
+            assert len(lines) == len(set(lines))
+
+    def test_still_sorts(self, rng):
+        import numpy as np
+        from repro.baselines.batcher import apply_schedule
+
+        net = build_odd_even_merge_sorter(16)
+        compact = compact_stages(extract_comparator_schedule(net))
+        for _ in range(30):
+            v = rng.integers(0, 100, 16)
+            assert np.array_equal(apply_schedule(v, compact), np.sort(v))
+
+
+class TestVcd:
+    def test_records_and_dumps(self):
+        rec = VcdRecorder(["a", "b"])
+        rec.sample([0, 1])
+        rec.sample([1, 1])
+        rec.sample([1, 0])
+        text = rec.dumps()
+        assert "$var wire 1" in text
+        assert text.count("#") == 4  # 3 cycles + final marker
+        # only changes are dumped after cycle 0
+        assert "a $end" in text and "b $end" in text
+
+    def test_write(self, tmp_path):
+        rec = VcdRecorder(["x"])
+        rec.sample([1])
+        path = tmp_path / "t.vcd"
+        rec.write(path)
+        assert path.read_text().startswith("$date")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VcdRecorder([])
+        with pytest.raises(ValueError):
+            VcdRecorder(["a", "a"])
+        rec = VcdRecorder(["a"])
+        with pytest.raises(ValueError):
+            rec.sample([1, 0])
+
+    def test_record_sequential_counter(self):
+        from repro.circuits import CircuitBuilder
+        from repro.circuits.fsm import SequentialCircuit
+
+        b = CircuitBuilder()
+        s0, s1 = b.add_inputs(2)
+        carry = b.const(1)
+        n0 = b.xor(s0, carry)
+        c0 = b.and_(s0, carry)
+        n1 = b.xor(s1, c0)
+        net = b.build([n0, n1, b.buf(n0)])
+        circ = SequentialCircuit(net, n_state=2)
+        rec = record_sequential(circ, [], cycles=4)
+        assert len(rec.samples) == 4
+        # state counts 1, 2, 3, 0 across cycles
+        vals = [s[0] + 2 * s[1] for s in rec.samples]
+        assert vals == [1, 2, 3, 0]
+
+    def test_hw_clean_sorter_trace(self, tmp_path):
+        """End-to-end: dump a waveform of the clocked clean sorter."""
+        import numpy as np
+        from repro.core.hw_clean_sorter import HardwareCleanSorter
+
+        hcs = HardwareCleanSorter(8, 4)
+        circ = hcs.circuit
+        circ.reset()
+        rec = VcdRecorder(
+            [f"st{i}" for i in range(circ.n_state)]
+            + [f"o{i}" for i in range(circ.n_external_out)]
+        )
+        x = np.repeat(np.array([1, 0, 1, 0], dtype=np.uint8), 2)
+        for _ in range(4):
+            outs = circ.step(x.tolist())
+            rec.sample(list(circ.state) + outs)
+        assert outs == [0, 0, 0, 0, 1, 1, 1, 1]
+        path = tmp_path / "clean.vcd"
+        rec.write(path)
+        assert path.stat().st_size > 100
+
+
+class TestSweepTool:
+    def test_sweep_runs(self, tmp_path):
+        mod = _load("sweep")
+        out = tmp_path / "sweep.json"
+        assert mod.main(["--min-lg", "4", "--max-lg", "5", "--out", str(out)]) == 0
+        records = json.loads(out.read_text())
+        assert len(records) == len(mod.NETWORKS) * 2
+        assert all("cost" in r and r["cost"] > 0 for r in records)
+
+    def test_sweep_validates_range(self, tmp_path):
+        mod = _load("sweep")
+        assert mod.main(["--min-lg", "9", "--max-lg", "5"]) == 2
+
+
+class TestApiDocsTool:
+    def test_generates_reference(self):
+        mod = _load("gen_api_docs")
+        text = mod.generate()
+        assert "# API reference" in text
+        assert "`FishSorter` (class)" in text
+        assert "repro.analysis" in text
+        # every public package section present
+        for pkg in mod.PACKAGES:
+            assert f"## `{pkg}`" in text

@@ -1,0 +1,38 @@
+"""Unit tests for the ASCII renderers."""
+
+from repro.baselines.batcher import odd_even_merge_schedule
+from repro.viz import render_block_diagram, render_comparator_network
+
+
+class TestComparatorDiagram:
+    def test_wire_rows_present(self):
+        out = render_comparator_network(4, odd_even_merge_schedule(4))
+        lines = out.splitlines()
+        assert len(lines) == 7  # 4 wires + 3 gaps
+        assert lines[0].startswith("x0")
+        assert lines[6].startswith("x3")
+
+    def test_comparator_count_matches(self):
+        out = render_comparator_network(4, odd_even_merge_schedule(4))
+        # each comparator renders two 'o' endpoints
+        assert out.count("o") == 2 * 5
+
+    def test_vertical_bars_connect(self):
+        out = render_comparator_network(2, [[(0, 1)]])
+        lines = out.splitlines()
+        col = lines[0].index("o")
+        assert lines[1][col] == "|"
+        assert lines[2][col] == "o"
+
+
+class TestBlockDiagram:
+    def test_contains_labels(self):
+        out = render_block_diagram(
+            "fish", [("mux", "(n,n/k)"), ("sorter", "n/k"), ("merger", "k-way")]
+        )
+        assert "fish" in out
+        assert "sorter" in out and "(n,n/k)" in out
+
+    def test_arrows_between_blocks(self):
+        out = render_block_diagram("t", [("a", ""), ("b", "")])
+        assert "->" in out

@@ -1,0 +1,120 @@
+"""Unit tests for the word sorter extension (sorting-as-binary-sorting)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import simulate
+from repro.networks.word_sorter import (
+    RadixWordSorter,
+    build_rank_circuit,
+)
+
+
+def _decode_dests(out, n):
+    lg = n.bit_length() - 1
+    return [
+        int("".join(map(str, out[i * lg : (i + 1) * lg])), 2) for i in range(n)
+    ]
+
+
+class TestRankCircuit:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_stable_split_destinations(self, n):
+        net = build_rank_circuit(n)
+        from repro.circuits import exhaustive_inputs
+
+        if n <= 10:
+            cases = exhaustive_inputs(n)
+        else:
+            rng = np.random.default_rng(n)
+            cases = rng.integers(0, 2, (200, n)).astype(np.uint8)
+        for tags in cases:
+            out = simulate(net, tags[None, :])[0]
+            dests = _decode_dests(out, n)
+            assert sorted(dests) == list(range(n)), (tags, dests)
+            # stability: relative order preserved within each tag class
+            zeros = [dests[i] for i in range(n) if tags[i] == 0]
+            ones = [dests[i] for i in range(n) if tags[i] == 1]
+            assert zeros == sorted(zeros)
+            assert ones == sorted(ones)
+            # zeros occupy the prefix
+            assert all(d < len(zeros) for d in zeros)
+            assert all(d >= len(zeros) for d in ones)
+
+    def test_random_large(self, rng):
+        n = 32
+        net = build_rank_circuit(n)
+        for _ in range(25):
+            tags = rng.integers(0, 2, n).astype(np.uint8)
+            out = simulate(net, tags[None, :])[0]
+            dests = _decode_dests(out, n)
+            assert sorted(dests) == list(range(n))
+
+    def test_cost_n_lg_n_scaling(self):
+        from repro.analysis import loglog_slope
+
+        costs = {n: build_rank_circuit(n).cost() for n in (16, 32, 64, 128)}
+        assert loglog_slope(list(costs), list(costs.values())) < 1.5
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            build_rank_circuit(12)
+
+
+class TestRadixWordSorter:
+    @pytest.mark.parametrize("permuter", ["benes", "radix_mux", "radix_fish"])
+    def test_sorts_random_words(self, permuter, rng):
+        ws = RadixWordSorter(16, 8, permuter=permuter)
+        for _ in range(15):
+            vals = rng.integers(0, 256, 16)
+            out, rep = ws.sort(vals)
+            assert np.array_equal(out, np.sort(vals))
+            assert rep.passes == 8
+
+    def test_sorts_with_duplicates(self, rng):
+        ws = RadixWordSorter(16, 4)
+        vals = rng.integers(0, 4, 16)  # many duplicates
+        out, _ = ws.sort(vals)
+        assert np.array_equal(out, np.sort(vals))
+
+    def test_width_one_is_binary_sort(self, rng):
+        ws = RadixWordSorter(8, 1)
+        bits = rng.integers(0, 2, 8)
+        out, _ = ws.sort(bits)
+        assert np.array_equal(out, np.sort(bits))
+
+    def test_extremes(self):
+        ws = RadixWordSorter(8, 6)
+        vals = np.array([63, 0, 63, 0, 31, 32, 1, 62])
+        out, _ = ws.sort(vals)
+        assert np.array_equal(out, np.sort(vals))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadixWordSorter(12, 8)
+        with pytest.raises(ValueError):
+            RadixWordSorter(8, 0)
+        with pytest.raises(ValueError):
+            RadixWordSorter(8, 4, permuter="crossbar")
+        ws = RadixWordSorter(8, 4)
+        with pytest.raises(ValueError):
+            ws.sort(np.arange(4))
+        with pytest.raises(ValueError):
+            ws.sort(np.full(8, 100))  # exceeds 4 bits
+
+    def test_cost_accounting(self):
+        ws = RadixWordSorter(16, 8)
+        assert ws.cost() == 8 * (ws.rank_circuit.cost() + ws._permuter_cost)
+        assert ws.sort_time() > 0
+
+    def test_no_word_comparators_scaling_in_width(self):
+        """Cost grows linearly in W (one split stage per bit) — the
+        decomposition's selling point vs O(W)-per-comparator networks."""
+        c4 = RadixWordSorter(16, 4).cost()
+        c8 = RadixWordSorter(16, 8).cost()
+        assert c8 == 2 * c4
+
+    def test_batcher_word_model(self):
+        assert RadixWordSorter.batcher_word_cost(16, 8) == pytest.approx(
+            5 * 8 * 4 * (16 - 4 + 4)
+        )

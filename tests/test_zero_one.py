@@ -1,0 +1,70 @@
+"""Tests for zero-one principle tooling (nonadaptive vs adaptive)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.zero_one import extract_comparator_schedule, is_nonadaptive
+from repro.baselines.batcher import apply_schedule, build_odd_even_merge_sorter, build_bitonic_sorter
+from repro.baselines.balanced import build_balanced_sorter
+from repro.core import (
+    build_alternative_oem_sorter,
+    build_mux_merger_sorter,
+    build_prefix_sorter,
+)
+
+
+class TestIsNonadaptive:
+    def test_comparator_networks_are_nonadaptive(self):
+        assert is_nonadaptive(build_odd_even_merge_sorter(16))
+        assert is_nonadaptive(build_balanced_sorter(16))
+        assert is_nonadaptive(build_alternative_oem_sorter(16))
+
+    def test_adaptive_networks_are_adaptive(self):
+        # the paper's whole point: Networks 1 and 2 use non-comparator
+        # elements (swappers, adders) to steer on conditions
+        assert not is_nonadaptive(build_prefix_sorter(16))
+        assert not is_nonadaptive(build_mux_merger_sorter(16))
+
+
+class TestScheduleExtraction:
+    @pytest.mark.parametrize(
+        "builder", [build_odd_even_merge_sorter, build_alternative_oem_sorter,
+                    build_balanced_sorter, build_bitonic_sorter]
+    )
+    def test_zero_one_principle_experimentally(self, builder, rng):
+        """Extract the schedule from a netlist verified only on bits and
+        replay it on arbitrary integers — the zero-one principle says it
+        must sort them, and it does."""
+        net = builder(16)
+        sched = extract_comparator_schedule(net)
+        assert sum(len(s) for s in sched) == net.cost()
+        for _ in range(50):
+            v = rng.integers(-1000, 1000, 16)
+            assert np.array_equal(apply_schedule(v, sched), np.sort(v))
+
+    def test_adaptive_network_rejected(self):
+        with pytest.raises(ValueError, match="nonadaptive"):
+            extract_comparator_schedule(build_mux_merger_sorter(8))
+
+    def test_broken_output_mapping_detected(self):
+        from repro.circuits import Netlist
+
+        net = build_odd_even_merge_sorter(8)
+        outs = list(net.outputs)
+        outs[0], outs[1] = outs[1], outs[0]
+        scrambled = Netlist(
+            net.n_wires, net.elements, net.inputs, outs, net.constants
+        )
+        with pytest.raises(ValueError, match="line-preserving"):
+            extract_comparator_schedule(scrambled)
+
+    def test_schedule_matches_bit_level_simulation(self, rng):
+        from repro.circuits import simulate
+
+        net = build_alternative_oem_sorter(8)
+        sched = extract_comparator_schedule(net)
+        for _ in range(30):
+            bits = rng.integers(0, 2, 8).astype(np.uint8)
+            assert np.array_equal(
+                apply_schedule(bits, sched), simulate(net, bits[None, :])[0]
+            )

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Compare two sweep JSON files (tools/sweep.py output) and report drift.
+
+Usage::
+
+    python tools/compare_sweeps.py baseline.json current.json [--tol 0.0]
+
+Exit status 1 if any (network, n) cost/depth/time changed by more than
+``tol`` (relative).  Use as a regression gate around substrate changes:
+run a sweep before and after, then compare.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Tuple
+
+FIELDS = ("cost", "depth", "time")
+
+
+def load(path: pathlib.Path) -> Dict[Tuple[str, int], dict]:
+    records = json.loads(path.read_text())
+    return {(r["network"], r["n"]): r for r in records}
+
+
+def compare(baseline: dict, current: dict, tol: float) -> List[str]:
+    """Returns human-readable drift lines (empty = no drift)."""
+    drifts: List[str] = []
+    for key in sorted(set(baseline) | set(current)):
+        name = f"{key[0]} @ n={key[1]}"
+        if key not in baseline:
+            drifts.append(f"{name}: new (no baseline)")
+            continue
+        if key not in current:
+            drifts.append(f"{name}: missing from current sweep")
+            continue
+        for field in FIELDS:
+            old, new = baseline[key][field], current[key][field]
+            if old == new:
+                continue
+            rel = abs(new - old) / max(abs(old), 1)
+            if rel > tol:
+                drifts.append(
+                    f"{name}: {field} {old} -> {new} ({rel:+.1%} drift)"
+                )
+    return drifts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("--tol", type=float, default=0.0)
+    args = parser.parse_args(argv)
+    for p in (args.baseline, args.current):
+        if not p.is_file():
+            print(f"no such file: {p}")
+            return 2
+    drifts = compare(load(args.baseline), load(args.current), args.tol)
+    if drifts:
+        print(f"{len(drifts)} drift(s) beyond tol={args.tol}:")
+        for line in drifts:
+            print(" ", line)
+        return 1
+    print("no drift: sweeps agree within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Measurement sweep: dump cost/depth/time series to JSON for plotting.
+
+Usage::
+
+    python tools/sweep.py [--max-lg 12] [--out sweep.json]
+
+Emits one record per (network, n) with measured and claimed values —
+the raw data behind EXPERIMENTS.md, in machine-readable form.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+NETWORKS = [
+    "prefix",
+    "mux_merger",
+    "fish",
+    "batcher_oem",
+    "batcher_bitonic",
+    "balanced",
+    "columnsort_tm",
+    "muller_preparata",
+]
+
+
+def run_sweep(max_lg: int, min_lg: int = 4) -> list:
+    from repro.analysis import measure_network
+
+    records = []
+    for name in NETWORKS:
+        for p in range(min_lg, max_lg + 1):
+            n = 1 << p
+            m = measure_network(name, n)
+            records.append(
+                {
+                    "network": m.network,
+                    "n": m.n,
+                    "cost": m.cost,
+                    "depth": m.depth,
+                    "time": m.time,
+                    "claimed_cost": m.claimed_cost,
+                    "claimed_depth": m.claimed_depth,
+                    "claimed_time": m.claimed_time,
+                }
+            )
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-lg", type=int, default=10)
+    parser.add_argument("--min-lg", type=int, default=4)
+    parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("sweep.json"))
+    args = parser.parse_args(argv)
+    if not 2 <= args.min_lg <= args.max_lg <= 14:
+        print("need 2 <= min-lg <= max-lg <= 14")
+        return 2
+    records = run_sweep(args.max_lg, args.min_lg)
+    args.out.write_text(json.dumps(records, indent=1))
+    print(f"wrote {args.out}: {len(records)} records "
+          f"({len(NETWORKS)} networks x n = 2^{args.min_lg}..2^{args.max_lg})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
