@@ -8,13 +8,27 @@ as executable circuits with the exact cost/depth accounting of Section II:
 * :mod:`~repro.circuits.netlist` — the circuit DAG with cost/depth/stats.
 * :mod:`~repro.circuits.builder` — imperative construction DSL.
 * :mod:`~repro.circuits.simulate` — vectorized bit-level and
-  payload-carrying interpreters.
+  payload-carrying evaluation (thin wrappers over the engine, with the
+  original interpreters kept as differential-testing oracles).
+* :mod:`~repro.circuits.engine` — compiled level-batched execution
+  plans: fused gather/kernel/scatter steps per (level, kind) group, a
+  bit-packed 64-lanes-per-word fast path, and a weak-keyed plan cache.
 * :mod:`~repro.circuits.sequential` — Model B: timelines, pipeline
   levelization, and a cycle-accurate pipelined executor.
 """
 
 from .builder import CircuitBuilder
 from .elements import Element, ELEMENT_META
+from .engine import (
+    ExecutionPlan,
+    FusedStep,
+    PACKED_MIN_BATCH,
+    clear_plan_cache,
+    compile_plan,
+    fuse_elements,
+    get_plan,
+    plan_cache_size,
+)
 from .equivalence import equivalent
 from .fsm import SequentialCircuit, build_time_multiplexed_stage
 from .fuzz import random_netlist
@@ -36,7 +50,9 @@ from .simulate import (
     NO_PAYLOAD,
     exhaustive_inputs,
     simulate,
+    simulate_interpreted,
     simulate_payload,
+    simulate_payload_interpreted,
 )
 
 __all__ = [
@@ -44,33 +60,43 @@ __all__ = [
     "CircuitStats",
     "ELEMENT_META",
     "Element",
+    "ExecutionPlan",
+    "FusedStep",
     "LevelizedNetlist",
     "NO_PAYLOAD",
     "Netlist",
+    "PACKED_MIN_BATCH",
     "PipelinedNetlist",
     "SequentialCircuit",
     "TimeSegment",
     "Timeline",
     "build_time_multiplexed_stage",
+    "clear_plan_cache",
+    "compile_plan",
     "critical_path",
     "equivalent",
     "exhaustive_inputs",
     "fold_constants",
     "from_json",
+    "fuse_elements",
     "gate_count",
     "gate_depth",
+    "get_plan",
     "level_histogram",
     "levelize",
     "load",
     "lower_to_gates",
     "optimize",
     "path_kind_summary",
+    "plan_cache_size",
     "prune_dead",
     "random_netlist",
     "run_pipelined",
     "run_time_multiplexed",
     "save",
     "simulate",
+    "simulate_interpreted",
     "simulate_payload",
+    "simulate_payload_interpreted",
     "to_json",
 ]

@@ -196,9 +196,16 @@ class CircuitBuilder:
 
     # -- finalization -------------------------------------------------------------
 
-    def build(self, outputs: Sequence[int]) -> Netlist:
-        """Freeze the builder into a validated :class:`Netlist`."""
-        return Netlist(
+    def build(self, outputs: Sequence[int], precompile: bool = False) -> Netlist:
+        """Freeze the builder into a validated :class:`Netlist`.
+
+        With ``precompile=True`` the netlist's execution plan is
+        compiled eagerly (and cached weak-keyed, see
+        :mod:`repro.circuits.engine`), so the first ``simulate`` call
+        pays no compile latency — useful when construction happens ahead
+        of a latency-sensitive serving path.
+        """
+        net = Netlist(
             n_wires=self._n_wires,
             elements=self._elements,
             inputs=self._inputs,
@@ -206,3 +213,8 @@ class CircuitBuilder:
             constants=self._constants,
             name=self.name,
         )
+        if precompile:
+            from .engine import get_plan
+
+            get_plan(net)
+        return net

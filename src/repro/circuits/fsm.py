@@ -11,6 +11,12 @@ The pipelined executor (:mod:`repro.circuits.sequential`) covers
 feed-forward streaming; this class covers feedback (counters,
 accumulators, the time-multiplexed dispatch of the clean sorter in
 :mod:`repro.core.hw_clean_sorter`).
+
+Each tick evaluates the combinational netlist through
+:func:`~repro.circuits.simulate.simulate`, which runs on the compiled
+level-batched engine — the plan is compiled once (weak-keyed cache) and
+reused every cycle, so long clocked runs pay no per-element Python
+dispatch.
 """
 
 from __future__ import annotations
@@ -57,6 +63,9 @@ class SequentialCircuit:
         self._initial = [int(v) for v in initial_state]
         self.state: List[int] = list(self._initial)
         self.cycles = 0
+        # Reusable input row: contiguous uint8 takes simulate()'s trusted
+        # zero-copy path, so a tick costs one compiled-plan execution.
+        self._vec = np.zeros((1, len(netlist.inputs)), dtype=np.uint8)
 
     def reset(self) -> None:
         self.state = list(self._initial)
@@ -69,8 +78,12 @@ class SequentialCircuit:
                 f"expected {self.n_external_in} external inputs, got "
                 f"{len(external)}"
             )
-        vec = list(self.state) + [int(v) for v in external]
-        out = simulate(self.netlist, [vec])[0]
+        ext = [int(v) for v in external]
+        if any(v not in (0, 1) for v in ext):
+            raise ValueError("inputs must be 0/1 values")
+        self._vec[0, : self.n_state] = self.state
+        self._vec[0, self.n_state :] = ext
+        out = simulate(self.netlist, self._vec)[0]
         self.state = [int(v) for v in out[: self.n_state]]
         self.cycles += 1
         return [int(v) for v in out[self.n_state :]]

@@ -66,6 +66,8 @@ class Netlist:
         self.constants: Dict[int, int] = dict(constants or {})
         self.name = name
         self._depths: Optional[List[int]] = None
+        self._cost: Optional[int] = None
+        self._stats: Optional[CircuitStats] = None
         self.validate()
 
     # -- structural validation ---------------------------------------------
@@ -106,8 +108,15 @@ class Netlist:
     # -- accounting ----------------------------------------------------------
 
     def cost(self) -> int:
-        """Total cost in the paper's units (unit-cost switching elements)."""
-        return sum(e.cost for e in self.elements)
+        """Total cost in the paper's units (unit-cost switching elements).
+
+        Memoized, like :meth:`wire_depths` — benchmarks and sweeps call
+        this in loops over netlists with hundreds of thousands of
+        elements.
+        """
+        if self._cost is None:
+            self._cost = sum(e.cost for e in self.elements)
+        return self._cost
 
     def wire_depths(self) -> List[int]:
         """Depth of every wire (longest weighted path from any input)."""
@@ -131,18 +140,21 @@ class Netlist:
         return max(depths, default=0)
 
     def stats(self) -> CircuitStats:
-        by_kind: Dict[str, int] = {}
-        for e in self.elements:
-            by_kind[e.kind] = by_kind.get(e.kind, 0) + 1
-        return CircuitStats(
-            cost=self.cost(),
-            depth=self.depth(),
-            n_elements=len(self.elements),
-            n_wires=self.n_wires,
-            n_inputs=len(self.inputs),
-            n_outputs=len(self.outputs),
-            by_kind=by_kind,
-        )
+        """Summary statistics (memoized; :class:`CircuitStats` is frozen)."""
+        if self._stats is None:
+            by_kind: Dict[str, int] = {}
+            for e in self.elements:
+                by_kind[e.kind] = by_kind.get(e.kind, 0) + 1
+            self._stats = CircuitStats(
+                cost=self.cost(),
+                depth=self.depth(),
+                n_elements=len(self.elements),
+                n_wires=self.n_wires,
+                n_inputs=len(self.inputs),
+                n_outputs=len(self.outputs),
+                by_kind=by_kind,
+            )
+        return self._stats
 
     def cost_by_kind(self) -> Dict[str, int]:
         """Cost contribution of each element kind."""

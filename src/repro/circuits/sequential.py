@@ -147,10 +147,16 @@ class PipelinedNetlist:
 
     The implementation keeps genuine per-boundary register state rather
     than exploiting the algebraic identity ``out[t] = f(in[t - D])``, so
-    tests can confirm the pipeline behaves like hardware would.
+    tests can confirm the pipeline behaves like hardware would.  Each
+    pipeline level's elements are pre-fused into level-batched steps
+    (see :mod:`repro.circuits.engine`), so advancing one boundary is a
+    handful of vectorized kernel calls instead of a per-element Python
+    loop; a bubble slot is represented by a ``None`` boundary array.
     """
 
     def __init__(self, netlist: Netlist) -> None:
+        from .engine import fuse_elements
+
         self.netlist = netlist
         self.level = levelize(netlist)
         self.latency = self.level.n_levels
@@ -160,79 +166,57 @@ class PipelinedNetlist:
             if lvl > self.latency:
                 continue  # dead logic deeper than every primary output
             self._by_level.setdefault(lvl, []).append(idx)
-        # Which wires must be stored at each boundary 0..latency:
-        # produced at level <= L and consumed at a level > L (or an output).
-        last_use: List[Optional[int]] = [None] * netlist.n_wires
-        for e, lvl in zip(netlist.elements, self.level.element_levels):
-            for w in e.ins:
-                if last_use[w] is None or lvl > last_use[w]:
-                    last_use[w] = lvl
-        for w in netlist.outputs:
-            if last_use[w] is None or self.latency > last_use[w]:
-                last_use[w] = self.latency
-        self._alive_at: List[List[int]] = [[] for _ in range(self.latency + 1)]
-        for w in range(netlist.n_wires):
-            if last_use[w] is None:
-                continue
-            for L in range(self.level.wire_levels[w], last_use[w] + 1):
-                if L <= self.latency:
-                    self._alive_at[L].append(w)
-        # Register state: state[L][w] = value at boundary L, or None.
-        self._state: List[Dict[int, Optional[int]]] = [
-            {w: None for w in alive} for alive in self._alive_at
-        ]
-        self._valid: List[bool] = [False] * (self.latency + 1)
+        # Fused execution steps per pipeline level.  Depth-0 buffers make
+        # same-level chains possible, so each level is micro-levelized by
+        # fuse_elements rather than assumed independent.
+        self._level_steps = {
+            lvl: fuse_elements([netlist.elements[i] for i in idxs])
+            for lvl, idxs in self._by_level.items()
+        }
+        self._const_items = tuple(netlist.constants.items())
+        # Register state: state[L] is a (n_wires, 1) uint8 column of the
+        # values crossing boundary L, or None for an invalid/bubble slot.
+        self._state: List[Optional[np.ndarray]] = [None] * (self.latency + 1)
 
     def reset(self) -> None:
-        for st in self._state:
-            for w in st:
-                st[w] = None
-        self._valid = [False] * (self.latency + 1)
+        self._state = [None] * (self.latency + 1)
 
     def step(self, inputs: Optional[Sequence[int]]) -> Optional[List[int]]:
         """Advance one clock cycle; see class docstring."""
+        from .engine import apply_steps
+
         net = self.netlist
+        ones = np.uint8(1)
         if inputs is None:
-            new0: Dict[int, Optional[int]] = {w: None for w in self._alive_at[0]}
-            valid0 = False
+            new0 = None
         else:
             if len(inputs) != len(net.inputs):
                 raise ValueError(
                     f"expected {len(net.inputs)} inputs, got {len(inputs)}"
                 )
-            values: Dict[int, int] = dict(zip(net.inputs, map(int, inputs)))
-            values.update(net.constants)
+            new0 = np.zeros((net.n_wires, 1), dtype=np.uint8)
+            for w, v in zip(net.inputs, inputs):
+                new0[w, 0] = v
+            for w, v in self._const_items:
+                new0[w, 0] = v
             # Depth-0 elements (buffers of inputs/constants) compute
             # combinationally before the first register boundary.
-            for idx in self._by_level.get(0, ()):
-                e = net.elements[idx]
-                outs = _eval_element(e, [values[w] for w in e.ins])
-                for w, v in zip(e.outs, outs):
-                    values[w] = v
-            new0 = {w: values.get(w) for w in self._alive_at[0]}
-            valid0 = True
+            apply_steps(new0, self._level_steps.get(0, ()), ones)
 
-        new_state: List[Dict[int, Optional[int]]] = [new0]
-        new_valid = [valid0]
+        new_state: List[Optional[np.ndarray]] = [new0]
         for L in range(1, self.latency + 1):
             prev = self._state[L - 1]  # previous-cycle boundary values
-            prev_valid = self._valid[L - 1]
-            scratch: Dict[int, Optional[int]] = dict(prev)
-            scratch.update(self.netlist.constants)
-            if prev_valid:
-                for idx in self._by_level.get(L, ()):  # topological within level
-                    e = net.elements[idx]
-                    ins = [scratch[w] for w in e.ins]
-                    outs = _eval_element(e, ins)
-                    for w, v in zip(e.outs, outs):
-                        scratch[w] = v
-            new_state.append({w: scratch.get(w) for w in self._alive_at[L]})
-            new_valid.append(prev_valid)
+            if prev is None:
+                new_state.append(None)
+                continue
+            scratch = prev.copy()
+            apply_steps(scratch, self._level_steps.get(L, ()), ones)
+            new_state.append(scratch)
         self._state = new_state
-        self._valid = new_valid
-        if not self._valid[self.latency]:
+        last = self._state[self.latency]
+        if last is None:
             return None
-        return [self._state[self.latency][w] for w in net.outputs]
+        return [int(last[w, 0]) for w in net.outputs]
 
     def run(self, batches: Sequence[Sequence[int]]) -> Tuple[List[List[int]], int]:
         """Stream ``batches`` through the pipeline back-to-back.
@@ -306,15 +290,18 @@ def run_time_multiplexed(
     """Run ``groups`` through ``netlist`` one after another (no pipelining).
 
     Each pass charges the full combinational depth to the timeline — this
-    is the unpipelined Model B operation of eq. (22).
+    is the unpipelined Model B operation of eq. (22).  Functionally the
+    passes are independent, so they evaluate as one batched call on the
+    compiled engine; the timeline still charges them sequentially.
     """
     depth = netlist.depth()
-    outs: List[np.ndarray] = []
-    for i, vec in enumerate(groups):
-        outs.append(simulate(netlist, [list(vec)])[0])
-        if timeline is not None:
+    if not groups:
+        return []
+    res = simulate(netlist, [list(vec) for vec in groups])
+    if timeline is not None:
+        for i in range(len(groups)):
             timeline.advance(depth, f"{label}[{i}]")
-    return outs
+    return [res[i] for i in range(res.shape[0])]
 
 
 def run_pipelined(

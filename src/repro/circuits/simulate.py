@@ -1,6 +1,6 @@
-"""Vectorized netlist interpreters.
+"""Vectorized netlist evaluation.
 
-Two interpreters share the structural description in
+Two evaluation modes share the structural description in
 :class:`~repro.circuits.netlist.Netlist`:
 
 * :func:`simulate` — pure bit-level evaluation, vectorized over a batch of
@@ -14,6 +14,14 @@ Two interpreters share the structural description in
   gates produce tag-only wires.  This is how concentrators and permuters
   demonstrate that actual data is routed, not merely that sorted bits are
   generated.
+
+Both public entry points are thin wrappers over the compiled
+level-batched engine in :mod:`repro.circuits.engine` (plans cached
+weak-keyed per netlist, bit-packed fast path for large pure-bit
+batches).  The original element-at-a-time interpreters are retained as
+:func:`simulate_interpreted` / :func:`simulate_payload_interpreted` —
+they are the independent oracle the engine is differentially tested
+against.
 """
 
 from __future__ import annotations
@@ -23,26 +31,33 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from . import elements as el
+from .engine import NO_PAYLOAD, get_plan
 from .netlist import Netlist
-
-#: Payload value used on wires that do not carry data (gate outputs,
-#: demultiplexer's unselected branch).
-NO_PAYLOAD = -1
 
 
 def _as_batch(inputs) -> np.ndarray:
-    arr = np.asarray(inputs, dtype=np.uint8)
+    arr = np.asarray(inputs)
+    # Contiguous uint8 input is passed through untouched (the hot path:
+    # engine outputs, exhaustive_inputs, rng.integers(...).astype(uint8));
+    # anything else is converted once and then range-checked.
+    converted = arr.dtype != np.uint8 or not arr.flags["C_CONTIGUOUS"]
+    if converted:
+        arr = np.ascontiguousarray(arr, dtype=np.uint8)
     if arr.ndim == 1:
         arr = arr[np.newaxis, :]
     if arr.ndim != 2:
         raise ValueError(f"inputs must be 1-D or 2-D, got shape {arr.shape}")
-    if arr.size and arr.max() > 1:
+    if converted and arr.size and arr.max() > 1:
         raise ValueError("inputs must be 0/1 values")
     return arr
 
 
 def simulate(netlist: Netlist, inputs) -> np.ndarray:
     """Evaluate ``netlist`` on a batch of input vectors.
+
+    Runs on the compiled level-batched engine (bit-packed for batches of
+    64+ vectors); results are bit-identical to
+    :func:`simulate_interpreted`.
 
     Parameters
     ----------
@@ -54,6 +69,21 @@ def simulate(netlist: Netlist, inputs) -> np.ndarray:
     -------
     numpy.ndarray
         ``uint8`` array of shape ``(batch, n_outputs)``.
+    """
+    batch = _as_batch(inputs)
+    if batch.shape[1] != len(netlist.inputs):
+        raise ValueError(
+            f"expected {len(netlist.inputs)} inputs, got {batch.shape[1]}"
+        )
+    return get_plan(netlist).execute(batch)
+
+
+def simulate_interpreted(netlist: Netlist, inputs) -> np.ndarray:
+    """Element-at-a-time reference interpreter (the engine's oracle).
+
+    Same contract as :func:`simulate`; kept deliberately independent of
+    :mod:`repro.circuits.engine` so differential tests compare two
+    implementations that share nothing but the netlist.
     """
     batch = _as_batch(inputs)
     if batch.shape[1] != len(netlist.inputs):
@@ -114,6 +144,20 @@ def simulate(netlist: Netlist, inputs) -> np.ndarray:
     return np.stack([values[w] for w in netlist.outputs], axis=1)
 
 
+def _as_payload_batch(netlist: Netlist, tags, payloads):
+    tag_batch = _as_batch(tags)
+    pay_batch = np.asarray(payloads, dtype=np.int64)
+    if pay_batch.ndim == 1:
+        pay_batch = pay_batch[np.newaxis, :]
+    if pay_batch.shape != tag_batch.shape:
+        raise ValueError("tags and payloads must have the same shape")
+    if tag_batch.shape[1] != len(netlist.inputs):
+        raise ValueError(
+            f"expected {len(netlist.inputs)} inputs, got {tag_batch.shape[1]}"
+        )
+    return tag_batch, pay_batch
+
+
 def simulate_payload(
     netlist: Netlist, tags, payloads
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -125,8 +169,22 @@ def simulate_payload(
     :data:`NO_PAYLOAD`, which is fine because control logic never feeds a
     primary data output in the paper's constructions.
 
+    Runs on the compiled engine's payload path; bit-identical to
+    :func:`simulate_payload_interpreted`.
+
     Returns ``(out_tags, out_payloads)``, both shaped
     ``(batch, n_outputs)``.
+    """
+    tag_batch, pay_batch = _as_payload_batch(netlist, tags, payloads)
+    return get_plan(netlist).execute_payload(tag_batch, pay_batch)
+
+
+def simulate_payload_interpreted(
+    netlist: Netlist, tags, payloads
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Element-at-a-time payload interpreter (the engine's oracle).
+
+    Same contract as :func:`simulate_payload`.
     """
     tag_batch = _as_batch(tags)
     pay_batch = np.asarray(payloads, dtype=np.int64)

@@ -103,3 +103,63 @@ class TestCompareSweeps:
         a = tmp_path / "a.json"
         self._write(a, [])
         assert mod.main([str(a), str(tmp_path / "nope.json")]) == 2
+
+
+class TestCompareSweepsEngine:
+    """Engine-bench records: one-sided speedup drift plus absolute floors."""
+
+    def _mod(self):
+        spec = importlib.util.spec_from_file_location(
+            "compare_sweeps", TOOLS / "compare_sweeps.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def _rec(self, speedup, floor=1.0, mode="batched"):
+        return {
+            "network": "prefix",
+            "n": 1024,
+            "mode": mode,
+            "speedup": speedup,
+            "floor": floor,
+        }
+
+    def _write(self, path, records):
+        import json
+
+        path.write_text(json.dumps(records))
+
+    def test_speedup_increase_is_not_drift(self, tmp_path):
+        mod = self._mod()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, [self._rec(5.0)])
+        self._write(b, [self._rec(9.0)])  # faster engine: never a regression
+        assert mod.main([str(a), str(b)]) == 0
+
+    def test_speedup_decrease_is_drift(self, tmp_path, capsys):
+        mod = self._mod()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, [self._rec(10.0)])
+        self._write(b, [self._rec(6.0)])
+        assert mod.main([str(a), str(b), "--tol", "0.3"]) == 1
+        assert "throughput drift" in capsys.readouterr().out
+
+    def test_embedded_floor_enforced(self, tmp_path, capsys):
+        mod = self._mod()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, [self._rec(5.0, floor=5.0)])
+        self._write(b, [self._rec(4.5, floor=5.0)])
+        # 10% decrease is inside --tol, but the record's own floor fails
+        assert mod.main([str(a), str(b), "--tol", "0.3"]) == 1
+        assert "below floor 5.0x" in capsys.readouterr().out
+
+    def test_min_speedup_overrides_floor(self, tmp_path):
+        mod = self._mod()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write(a, [self._rec(5.0, floor=5.0)])
+        self._write(b, [self._rec(4.5, floor=5.0)])
+        assert (
+            mod.main([str(a), str(b), "--tol", "0.3", "--min-speedup", "2.0"])
+            == 0
+        )

@@ -4,10 +4,23 @@
 Usage::
 
     python tools/compare_sweeps.py baseline.json current.json [--tol 0.0]
+    python tools/compare_sweeps.py BENCH_engine.base.json BENCH_engine.json \
+        --tol 0.3 [--min-speedup 5.0]
 
-Exit status 1 if any (network, n) cost/depth/time changed by more than
-``tol`` (relative).  Use as a regression gate around substrate changes:
-run a sweep before and after, then compare.
+Two record formats are understood, auto-detected per file:
+
+* **cost/depth/time sweeps** (``tools/sweep.py`` default mode): exact
+  structural figures, keyed by ``(network, n)``; any relative change
+  beyond ``--tol`` in either direction is drift.
+* **engine benchmarks** (``tools/sweep.py --engine-bench``): wall-clock
+  interpreter-vs-engine speedups, keyed by ``(network, n, mode)``.
+  Timings are noisy, so only *decreases* in speedup beyond ``--tol``
+  count as drift (a faster engine is never a regression), and
+  ``--min-speedup`` additionally fails any current record whose speedup
+  falls below an absolute floor — this is the gate that keeps future
+  PRs from silently regressing simulation throughput.
+
+Exit status 1 on drift, 2 on usage errors.
 """
 
 import argparse
@@ -19,21 +32,42 @@ from typing import Dict, List, Tuple
 FIELDS = ("cost", "depth", "time")
 
 
-def load(path: pathlib.Path) -> Dict[Tuple[str, int], dict]:
+def load(path: pathlib.Path) -> Dict[tuple, dict]:
     records = json.loads(path.read_text())
-    return {(r["network"], r["n"]): r for r in records}
+    out: Dict[tuple, dict] = {}
+    for r in records:
+        if "speedup" in r:  # engine-bench record
+            out[(r["network"], r["n"], r.get("mode", "batched"))] = r
+        else:
+            out[(r["network"], r["n"])] = r
+    return out
+
+
+def _is_engine(records: Dict[tuple, dict]) -> bool:
+    return any("speedup" in r for r in records.values())
 
 
 def compare(baseline: dict, current: dict, tol: float) -> List[str]:
     """Returns human-readable drift lines (empty = no drift)."""
     drifts: List[str] = []
+    engine = _is_engine(baseline) or _is_engine(current)
     for key in sorted(set(baseline) | set(current)):
-        name = f"{key[0]} @ n={key[1]}"
+        name = " @ ".join(f"{k}" for k in key)
         if key not in baseline:
             drifts.append(f"{name}: new (no baseline)")
             continue
         if key not in current:
             drifts.append(f"{name}: missing from current sweep")
+            continue
+        if engine:
+            old, new = baseline[key]["speedup"], current[key]["speedup"]
+            if new < old:  # only slowdowns count: timings are noisy
+                rel = (old - new) / max(abs(old), 1e-9)
+                if rel > tol:
+                    drifts.append(
+                        f"{name}: speedup {old} -> {new} "
+                        f"(-{rel:.1%} throughput drift)"
+                    )
             continue
         for field in FIELDS:
             old, new = baseline[key][field], current[key][field]
@@ -47,17 +81,46 @@ def compare(baseline: dict, current: dict, tol: float) -> List[str]:
     return drifts
 
 
+def check_floor(current: dict, min_speedup=None) -> List[str]:
+    """Absolute throughput floor for engine-bench records.
+
+    Each record may carry its own ``floor`` (written by
+    ``tools/sweep.py --engine-bench`` from the acceptance bars);
+    ``min_speedup`` overrides it globally when given.
+    """
+    failures = []
+    for key, r in sorted(current.items()):
+        if "speedup" not in r:
+            continue
+        floor = min_speedup if min_speedup is not None else r.get("floor")
+        if floor is not None and r["speedup"] < floor:
+            name = " @ ".join(f"{k}" for k in key)
+            failures.append(
+                f"{name}: speedup {r['speedup']}x below floor {floor}x"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=pathlib.Path)
     parser.add_argument("current", type=pathlib.Path)
     parser.add_argument("--tol", type=float, default=0.0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail any engine-bench record below this absolute speedup",
+    )
     args = parser.parse_args(argv)
     for p in (args.baseline, args.current):
         if not p.is_file():
             print(f"no such file: {p}")
             return 2
-    drifts = compare(load(args.baseline), load(args.current), args.tol)
+    current = load(args.current)
+    drifts = compare(load(args.baseline), current, args.tol)
+    if _is_engine(current):
+        drifts.extend(check_floor(current, args.min_speedup))
     if drifts:
         print(f"{len(drifts)} drift(s) beyond tol={args.tol}:")
         for line in drifts:

@@ -4,15 +4,21 @@
 Usage::
 
     python tools/sweep.py [--max-lg 12] [--out sweep.json]
+    python tools/sweep.py --engine-bench [--out BENCH_engine.json]
 
-Emits one record per (network, n) with measured and claimed values —
-the raw data behind EXPERIMENTS.md, in machine-readable form.
+The default mode emits one record per (network, n) with measured and
+claimed values — the raw data behind EXPERIMENTS.md, in machine-readable
+form.  ``--engine-bench`` instead times the element-at-a-time
+interpreter against the compiled level-batched engine
+(:mod:`repro.circuits.engine`) and records the speedup series; feed two
+such files to ``tools/compare_sweeps.py`` to gate throughput drift.
 """
 
 import argparse
 import json
 import pathlib
 import sys
+import time
 
 NETWORKS = [
     "prefix",
@@ -49,18 +55,102 @@ def run_sweep(max_lg: int, min_lg: int = 4) -> list:
     return records
 
 
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+#: (builder name, n, batch rows, mode, floor) series for --engine-bench.
+#: mode "batched" times a 64-row random batch; "packed-exhaustive" times
+#: all 2**n vectors through the bit-packed path.  ``floor`` is the
+#: minimum acceptable speedup recorded with the measurement so
+#: compare_sweeps.py can gate regressions without external config: the
+#: acceptance bars are 5x at the n=1024 prefix sorter and 10x for the
+#: packed exhaustive path at n=16; smaller instances have less
+#: interpreter overhead to amortize and get proportionally lower floors.
+ENGINE_BENCH_SERIES = [
+    ("prefix", 64, 64, "batched", 1.5),
+    ("prefix", 256, 64, "batched", 3.0),
+    ("prefix", 1024, 64, "batched", 5.0),
+    ("mux_merger", 256, 64, "batched", 3.0),
+    ("mux_merger", 512, 64, "batched", 5.0),
+    ("prefix", 16, 1 << 16, "packed-exhaustive", 10.0),
+    ("mux_merger", 16, 1 << 16, "packed-exhaustive", 10.0),
+]
+
+
+def run_engine_bench() -> list:
+    """Interpreter-vs-engine timing records for the drift gate."""
+    import numpy as np
+
+    from repro.circuits import exhaustive_inputs, get_plan
+    from repro.circuits.simulate import simulate_interpreted
+    from repro.core import build_mux_merger_sorter, build_prefix_sorter
+
+    builders = {"prefix": build_prefix_sorter, "mux_merger": build_mux_merger_sorter}
+    rng = np.random.default_rng(0xE9)
+    records = []
+    for name, n, rows, mode, floor in ENGINE_BENCH_SERIES:
+        net = builders[name](n)
+        plan = get_plan(net)  # compile outside the timed region
+        if mode == "packed-exhaustive":
+            batch = exhaustive_inputs(n)
+            run_engine = lambda: plan.execute_packed(batch)
+        else:
+            batch = rng.integers(0, 2, (rows, n)).astype(np.uint8)
+            run_engine = lambda: plan.execute(batch)
+        if not np.array_equal(run_engine(), simulate_interpreted(net, batch)):
+            raise AssertionError(f"engine mismatch on {name} n={n} ({mode})")
+        interp_s = _best_of(lambda: simulate_interpreted(net, batch))
+        engine_s = _best_of(run_engine)
+        records.append(
+            {
+                "network": name,
+                "n": n,
+                "batch": rows,
+                "mode": mode,
+                "elements": len(net.elements),
+                "interp_s": round(interp_s, 6),
+                "engine_s": round(engine_s, 6),
+                "speedup": round(interp_s / engine_s, 2),
+                "floor": floor,
+            }
+        )
+        print(
+            f"  {name} n={n} ({mode}): interp {interp_s:.4f}s "
+            f"engine {engine_s:.5f}s -> {records[-1]['speedup']}x"
+        )
+    return records
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--max-lg", type=int, default=10)
     parser.add_argument("--min-lg", type=int, default=4)
-    parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("sweep.json"))
+    parser.add_argument(
+        "--engine-bench",
+        action="store_true",
+        help="time interpreter vs compiled engine instead of cost/depth/time",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=None)
     args = parser.parse_args(argv)
+    if args.engine_bench:
+        out = args.out or pathlib.Path("BENCH_engine.json")
+        records = run_engine_bench()
+        out.write_text(json.dumps(records, indent=1))
+        print(f"wrote {out}: {len(records)} engine-bench records")
+        return 0
+    out = args.out or pathlib.Path("sweep.json")
     if not 2 <= args.min_lg <= args.max_lg <= 14:
         print("need 2 <= min-lg <= max-lg <= 14")
         return 2
     records = run_sweep(args.max_lg, args.min_lg)
-    args.out.write_text(json.dumps(records, indent=1))
-    print(f"wrote {args.out}: {len(records)} records "
+    out.write_text(json.dumps(records, indent=1))
+    print(f"wrote {out}: {len(records)} records "
           f"({len(NETWORKS)} networks x n = 2^{args.min_lg}..2^{args.max_lg})")
     return 0
 
