@@ -27,6 +27,7 @@ paper-vs-measured results.
 """
 
 from . import analysis, baselines, circuits, components, core, networks, viz
+from .ioutil import atomic_write_json, atomic_write_text
 from .core import (
     FishSorter,
     KWayMuxMerger,
@@ -58,6 +59,8 @@ __all__ = [
     "SortReport",
     "SortingConcentrator",
     "analysis",
+    "atomic_write_json",
+    "atomic_write_text",
     "baselines",
     "build_mux_merger",
     "build_mux_merger_sorter",

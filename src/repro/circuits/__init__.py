@@ -15,6 +15,10 @@ as executable circuits with the exact cost/depth accounting of Section II:
   bit-packed 64-lanes-per-word fast path, and a weak-keyed plan cache.
 * :mod:`~repro.circuits.sequential` — Model B: timelines, pipeline
   levelization, and a cycle-accurate pipelined executor.
+* :mod:`~repro.circuits.faults` — declarative fault models (stuck-at,
+  output-swap, control-line inversion, per-cycle transients) applied by
+  netlist rewriting, so both the interpreter and the compiled engine
+  evaluate the identical broken circuit.
 """
 
 from .builder import CircuitBuilder
@@ -30,6 +34,19 @@ from .engine import (
     plan_cache_size,
 )
 from .equivalence import equivalent
+from .faults import (
+    ControlInvert,
+    OutputSwap,
+    StuckAt,
+    TransientFlip,
+    apply_fault,
+    apply_faults,
+    control_wires,
+    enumerate_faults,
+    fault_set_id,
+    k_fault_sets,
+    sample_faults,
+)
 from .fsm import SequentialCircuit, build_time_multiplexed_stage
 from .fuzz import random_netlist
 from .lowering import gate_count, gate_depth, lower_to_gates
@@ -58,6 +75,7 @@ from .simulate import (
 __all__ = [
     "CircuitBuilder",
     "CircuitStats",
+    "ControlInvert",
     "ELEMENT_META",
     "Element",
     "ExecutionPlan",
@@ -65,23 +83,32 @@ __all__ = [
     "LevelizedNetlist",
     "NO_PAYLOAD",
     "Netlist",
+    "OutputSwap",
     "PACKED_MIN_BATCH",
     "PipelinedNetlist",
     "SequentialCircuit",
+    "StuckAt",
     "TimeSegment",
     "Timeline",
+    "TransientFlip",
+    "apply_fault",
+    "apply_faults",
     "build_time_multiplexed_stage",
     "clear_plan_cache",
     "compile_plan",
+    "control_wires",
     "critical_path",
+    "enumerate_faults",
     "equivalent",
     "exhaustive_inputs",
+    "fault_set_id",
     "fold_constants",
     "from_json",
     "fuse_elements",
     "gate_count",
     "gate_depth",
     "get_plan",
+    "k_fault_sets",
     "level_histogram",
     "levelize",
     "load",
@@ -93,6 +120,7 @@ __all__ = [
     "random_netlist",
     "run_pipelined",
     "run_time_multiplexed",
+    "sample_faults",
     "save",
     "simulate",
     "simulate_interpreted",

@@ -31,6 +31,16 @@ from .netlist import Netlist
 class CircuitBuilder:
     """Builds a :class:`Netlist` wire by wire, element by element."""
 
+    #: Kind-specific control-port positions (indices into ``Element.ins``)
+    #: — every wire wired into one of these ports steers routing rather
+    #: than carrying data, and is auto-tagged as a control wire.
+    CONTROL_PORTS = {
+        el.SWITCH2: (2,),
+        el.SWITCH4: (4, 5),
+        el.MUX2: (2,),
+        el.DEMUX2: (1,),
+    }
+
     def __init__(self, name: str = "netlist") -> None:
         self.name = name
         self._n_wires = 0
@@ -38,6 +48,7 @@ class CircuitBuilder:
         self._inputs: List[int] = []
         self._constants: Dict[int, int] = {}
         self._const_cache: Dict[int, int] = {}
+        self._control_wires: set = set()
 
     # -- wires ---------------------------------------------------------------
 
@@ -66,6 +77,20 @@ class CircuitBuilder:
             self._const_cache[value] = w
         return self._const_cache[value]
 
+    def tag_control(self, *wires: int) -> None:
+        """Mark wires as steering/control wires for fault targeting.
+
+        Wires feeding the control ports of switching elements are tagged
+        automatically by :meth:`_emit`; builders call this for steering
+        *sources* that reach switches only through glue logic — e.g. the
+        prefix sorter's count bits, which pass through an OR gate before
+        steering the patch-up swappers.
+        """
+        for w in wires:
+            if not (0 <= w < self._n_wires):
+                raise ValueError(f"unknown wire {w}")
+            self._control_wires.add(w)
+
     # -- element emission ------------------------------------------------------
 
     def _emit(self, kind: str, ins: Sequence[int], n_out: int, params=None):
@@ -75,6 +100,8 @@ class CircuitBuilder:
         for w in elem.ins:
             if not (0 <= w < self._n_wires):
                 raise ValueError(f"unknown wire {w}")
+        for port in self.CONTROL_PORTS.get(kind, ()):
+            self._control_wires.add(elem.ins[port])
         self._elements.append(elem)
         return outs
 
@@ -212,6 +239,7 @@ class CircuitBuilder:
             outputs=outputs,
             constants=self._constants,
             name=self.name,
+            control_wires=self._control_wires,
         )
         if precompile:
             from .engine import get_plan

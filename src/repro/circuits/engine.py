@@ -272,18 +272,24 @@ class ExecutionPlan:
 
     # -- execution -------------------------------------------------------------
 
-    def execute(self, batch: np.ndarray) -> np.ndarray:
+    def execute(self, batch: np.ndarray, taps=None) -> np.ndarray:
         """Evaluate a ``(B, n_inputs)`` uint8 batch; returns ``(B, n_out)``.
 
         Selects the bit-packed path for batches of at least
         :data:`PACKED_MIN_BATCH` rows, the per-lane uint8 path otherwise;
         both are bit-identical to the interpreter on 0/1 inputs.
+
+        ``taps`` — an optional sequence of wire ids — switches the return
+        to ``(outputs, tap_values)`` where ``tap_values`` is the
+        ``(B, len(taps))`` uint8 matrix of those wires' settled values.
+        Fault campaigns use taps to measure *activation*: how often a
+        faulted wire's healthy value actually differs from the fault.
         """
         if batch.shape[0] >= PACKED_MIN_BATCH:
-            return self.execute_packed(batch)
-        return self.execute_unpacked(batch)
+            return self.execute_packed(batch, taps)
+        return self.execute_unpacked(batch, taps)
 
-    def execute_unpacked(self, batch: np.ndarray) -> np.ndarray:
+    def execute_unpacked(self, batch: np.ndarray, taps=None) -> np.ndarray:
         """Per-lane uint8 evaluation (one byte per test vector)."""
         B = batch.shape[0]
         V = np.empty((self.n_wires, B), dtype=np.uint8)
@@ -292,9 +298,13 @@ class ExecutionPlan:
         for w, val in self.constants:
             V[w] = val
         apply_steps(V, self.steps, _ONES8)
-        return np.ascontiguousarray(V[self.out_wires].T)
+        out = np.ascontiguousarray(V[self.out_wires].T)
+        if taps is None:
+            return out
+        tap_idx = np.asarray(taps, dtype=np.intp)
+        return out, np.ascontiguousarray(V[tap_idx].T)
 
-    def execute_packed(self, batch: np.ndarray) -> np.ndarray:
+    def execute_packed(self, batch: np.ndarray, taps=None) -> np.ndarray:
         """Bit-packed evaluation: 64 test vectors per uint64 word."""
         B, n_in = batch.shape
         W = (B + 63) // 64
@@ -309,11 +319,18 @@ class ExecutionPlan:
         for w, val in self.constants:
             V[w] = _ONES64 if val else 0
         apply_steps(V, self.steps, _ONES64)
-        out_words = np.ascontiguousarray(V[self.out_wires])  # (n_out, W)
-        out_bits = np.unpackbits(
-            out_words.view(np.uint8), axis=1, bitorder="little"
-        )[:, :B]
-        return np.ascontiguousarray(out_bits.T)
+
+        def unpack(wires: np.ndarray) -> np.ndarray:
+            words = np.ascontiguousarray(V[wires])  # (n_sel, W)
+            bits = np.unpackbits(
+                words.view(np.uint8), axis=1, bitorder="little"
+            )[:, :B]
+            return np.ascontiguousarray(bits.T)
+
+        out = unpack(self.out_wires)
+        if taps is None:
+            return out
+        return out, unpack(np.asarray(taps, dtype=np.intp))
 
     def execute_payload(
         self, tags: np.ndarray, payloads: np.ndarray

@@ -1,0 +1,377 @@
+"""Declarative fault injection over netlists.
+
+The verification story of this reproduction ("sorts everything, checked
+exhaustively") is only as strong as its sensitivity to broken hardware.
+This module promotes the ad-hoc mutation helpers that used to live in
+the test-suite into a first-class fault-model layer:
+
+* :class:`StuckAt` — a wire permanently reads 0 or 1 (the classic
+  stuck-at model of manufacturing test);
+* :class:`OutputSwap` — a routing element's outputs are exchanged
+  (a comparator emits max before min, a switch routes crossed);
+* :class:`ControlInvert` — a steering wire is inverted, i.e. the
+  adaptive control path (prefix-adder→patch-up selects, mux-merger
+  middle bits) lies to every switch it steers;
+* :class:`TransientFlip` — a single-cycle glitch on one wire, for the
+  Model-B clocked simulators (:class:`~repro.circuits.sequential.PipelinedNetlist`
+  accepts a set of these and flips the wire's register at that clock).
+
+Every fault is *applied by netlist rewriting* (:func:`apply_fault`):
+stuck wires are re-driven from a fresh constant, inversions splice a NOT
+right after the wire's driver, swaps reverse an element's output tuple.
+The mutant is an ordinary validated :class:`~repro.circuits.netlist.Netlist`,
+so the element-at-a-time interpreter and the compiled
+:class:`~repro.circuits.engine.ExecutionPlan` evaluate *the same broken
+circuit* — which is exactly what lets campaigns check the two engines
+differentially under every fault.  All wire ids of the original netlist
+remain valid in the mutant (new wires are only appended), so fault
+records stay meaningful across rewrites.
+
+Fault *universes* are enumerated by :func:`enumerate_faults` and sampled
+deterministically by :func:`sample_faults` /:func:`k_fault_sets`; the
+steering-wire target set is :func:`control_wires` (the builder's
+explicit tags united with the control ports derived from the element
+list, so hand-assembled netlists work too).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import elements as el
+from .elements import Element
+from .netlist import Netlist
+
+#: Element kinds whose outputs an :class:`OutputSwap` may exchange —
+#: the routing elements (multi-output switching hardware).
+SWAPPABLE_KINDS = frozenset(
+    {el.COMPARATOR, el.SWITCH2, el.SWITCH4, el.DEMUX2}
+)
+
+#: ``kind -> control-port positions`` in ``Element.ins`` (mirrors
+#: :attr:`repro.circuits.builder.CircuitBuilder.CONTROL_PORTS`, kept
+#: separate so the faults layer works on netlists from any source).
+CONTROL_PORTS: Dict[str, Tuple[int, ...]] = {
+    el.SWITCH2: (2,),
+    el.SWITCH4: (4, 5),
+    el.MUX2: (2,),
+    el.DEMUX2: (1,),
+}
+
+
+@dataclass(frozen=True)
+class StuckAt:
+    """Wire ``wire`` permanently reads ``value`` (0 or 1)."""
+
+    wire: int
+    value: int
+
+    @property
+    def id(self) -> str:
+        return f"stuck@w{self.wire}={self.value}"
+
+
+@dataclass(frozen=True)
+class OutputSwap:
+    """Element ``element`` (index into ``netlist.elements``) has its
+    output wires reversed — min/max exchanged on a comparator, crossed
+    routing on a switch."""
+
+    element: int
+
+    @property
+    def id(self) -> str:
+        return f"swap@e{self.element}"
+
+
+@dataclass(frozen=True)
+class ControlInvert:
+    """Steering wire ``wire`` is inverted before every reader."""
+
+    wire: int
+
+    @property
+    def id(self) -> str:
+        return f"ctlinv@w{self.wire}"
+
+
+@dataclass(frozen=True)
+class TransientFlip:
+    """Wire ``wire`` glitches (inverts) during clock ``cycle`` only.
+
+    Clocked simulators honour the cycle; the combinational rewrite in
+    :func:`apply_fault` conservatively models it as a whole-evaluation
+    inversion (the glitch lasting the full combinational settle), which
+    is what the interpreter/engine differential runs against.
+    """
+
+    wire: int
+    cycle: int
+
+    @property
+    def id(self) -> str:
+        return f"flip@w{self.wire}@t{self.cycle}"
+
+
+Fault = Union[StuckAt, OutputSwap, ControlInvert, TransientFlip]
+
+
+# ---------------------------------------------------------------------------
+# Target-set derivation
+# ---------------------------------------------------------------------------
+
+
+def derived_control_wires(netlist: Netlist) -> FrozenSet[int]:
+    """Wires read by any element's control port (steering by structure)."""
+    found = set()
+    for e in netlist.elements:
+        for port in CONTROL_PORTS.get(e.kind, ()):
+            found.add(e.ins[port])
+    return frozenset(found)
+
+
+def control_wires(netlist: Netlist) -> FrozenSet[int]:
+    """The full steering target set: explicit builder tags ∪ derived."""
+    return netlist.control_wires | derived_control_wires(netlist)
+
+
+def driven_wires(netlist: Netlist) -> List[int]:
+    """Every wire that carries a defined value (inputs, constants,
+    element outputs) in netlist order — the stuck-at target universe."""
+    out = list(netlist.inputs) + sorted(netlist.constants)
+    for e in netlist.elements:
+        out.extend(e.outs)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fault application (netlist rewriting)
+# ---------------------------------------------------------------------------
+
+
+def _remap_reads(
+    elements: Sequence[Element], old: int, new: int
+) -> List[Element]:
+    return [
+        e
+        if old not in e.ins
+        else Element(
+            e.kind, tuple(new if w == old else w for w in e.ins), e.outs, e.params
+        )
+        for e in elements
+    ]
+
+
+def _stuck(netlist: Netlist, wire: int, value: int) -> Netlist:
+    if not (0 <= wire < netlist.n_wires):
+        raise ValueError(f"stuck-at wire {wire} out of range")
+    if value not in (0, 1):
+        raise ValueError(f"stuck-at value must be 0/1, got {value!r}")
+    nw = netlist.n_wires
+    elements = _remap_reads(netlist.elements, wire, nw)
+    outputs = tuple(nw if w == wire else w for w in netlist.outputs)
+    constants = dict(netlist.constants)
+    constants[nw] = value
+    return Netlist(
+        netlist.n_wires + 1,
+        elements,
+        netlist.inputs,
+        outputs,
+        constants,
+        name=netlist.name,
+        control_wires=netlist.control_wires,
+    )
+
+
+def _invert(netlist: Netlist, wire: int) -> Netlist:
+    if not (0 <= wire < netlist.n_wires):
+        raise ValueError(f"inverted wire {wire} out of range")
+    nw = netlist.n_wires
+    inverter = Element(el.NOT, (wire,), (nw,), None)
+    # Splice the NOT right after the wire's driver so topological order
+    # survives; inputs and constants are driven "before" element 0.
+    pos = 0
+    for i, e in enumerate(netlist.elements):
+        if wire in e.outs:
+            pos = i + 1
+            break
+    elements = (
+        list(netlist.elements[:pos])
+        + [inverter]
+        + _remap_reads(netlist.elements[pos:], wire, nw)
+    )
+    outputs = tuple(nw if w == wire else w for w in netlist.outputs)
+    return Netlist(
+        netlist.n_wires + 1,
+        elements,
+        netlist.inputs,
+        outputs,
+        netlist.constants,
+        name=netlist.name,
+        control_wires=netlist.control_wires,
+    )
+
+
+def _swap_outputs(netlist: Netlist, index: int) -> Netlist:
+    if not (0 <= index < len(netlist.elements)):
+        raise ValueError(f"element index {index} out of range")
+    e = netlist.elements[index]
+    if e.kind not in SWAPPABLE_KINDS:
+        raise ValueError(
+            f"element #{index} ({e.kind}) is not a routing element; "
+            f"output-swap targets {sorted(SWAPPABLE_KINDS)}"
+        )
+    elements = list(netlist.elements)
+    elements[index] = Element(e.kind, e.ins, tuple(reversed(e.outs)), e.params)
+    return Netlist(
+        netlist.n_wires,
+        elements,
+        netlist.inputs,
+        netlist.outputs,
+        netlist.constants,
+        name=netlist.name,
+        control_wires=netlist.control_wires,
+    )
+
+
+def apply_fault(netlist: Netlist, fault: Fault) -> Netlist:
+    """Return a fresh validated netlist with ``fault`` injected.
+
+    The original netlist is never modified; its wire ids stay valid in
+    the mutant.  :class:`TransientFlip` is modelled combinationally as a
+    full-evaluation inversion — clocked per-cycle semantics live in
+    :class:`~repro.circuits.sequential.PipelinedNetlist`.
+    """
+    if isinstance(fault, StuckAt):
+        return _stuck(netlist, fault.wire, fault.value)
+    if isinstance(fault, (ControlInvert, TransientFlip)):
+        return _invert(netlist, fault.wire)
+    if isinstance(fault, OutputSwap):
+        return _swap_outputs(netlist, fault.element)
+    raise TypeError(f"unknown fault {fault!r}")
+
+
+def apply_faults(netlist: Netlist, faults: Iterable[Fault]) -> Netlist:
+    """Inject a set of faults (k-fault injection).
+
+    Output swaps are applied first — their element indices refer to the
+    *original* element list, and wire-level rewrites insert elements.
+    Wire-level faults then apply in the given order; original wire ids
+    remain stable throughout because rewrites only append wires.
+    """
+    faults = list(faults)
+    net = netlist
+    for f in faults:
+        if isinstance(f, OutputSwap):
+            net = apply_fault(net, f)
+    for f in faults:
+        if not isinstance(f, OutputSwap):
+            net = apply_fault(net, f)
+    return net
+
+
+# ---------------------------------------------------------------------------
+# Universe enumeration and deterministic sampling
+# ---------------------------------------------------------------------------
+
+
+def enumerate_faults(
+    netlist: Netlist,
+    kinds: Sequence[str] = ("stuck", "swap", "control"),
+    cycles: Optional[Sequence[int]] = None,
+) -> List[Fault]:
+    """Enumerate the single-fault universe of ``netlist``.
+
+    ``kinds`` selects fault families: ``"stuck"`` (stuck-at-0/1 on every
+    driven wire), ``"swap"`` (output swap on every routing element),
+    ``"control"`` (inversion of every steering wire, see
+    :func:`control_wires`), ``"transient"`` (one
+    :class:`TransientFlip` per (non-constant driven wire, cycle) pair;
+    requires ``cycles``).
+    """
+    universe: List[Fault] = []
+    for kind in kinds:
+        if kind == "stuck":
+            for w in driven_wires(netlist):
+                universe.append(StuckAt(w, 0))
+                universe.append(StuckAt(w, 1))
+        elif kind == "swap":
+            universe.extend(
+                OutputSwap(i)
+                for i, e in enumerate(netlist.elements)
+                if e.kind in SWAPPABLE_KINDS
+            )
+        elif kind == "control":
+            universe.extend(
+                ControlInvert(w) for w in sorted(control_wires(netlist))
+            )
+        elif kind == "transient":
+            if cycles is None:
+                raise ValueError("transient enumeration requires cycles")
+            const = set(netlist.constants)
+            wires = [w for w in driven_wires(netlist) if w not in const]
+            universe.extend(
+                TransientFlip(w, c) for c in cycles for w in wires
+            )
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+    return universe
+
+
+def sample_faults(
+    universe: Sequence[Fault], k: int, seed: int = 0
+) -> List[Fault]:
+    """Deterministically sample ``k`` faults (universe order preserved)."""
+    if k >= len(universe):
+        return list(universe)
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(universe), size=k, replace=False)
+    return [universe[i] for i in sorted(idx)]
+
+
+def k_fault_sets(
+    universe: Sequence[Fault],
+    k: int,
+    limit: Optional[int] = None,
+    seed: int = 0,
+) -> List[Tuple[Fault, ...]]:
+    """Sets of ``k`` distinct faults for multi-fault campaigns.
+
+    Enumerates all combinations when there are at most ``limit``;
+    otherwise draws ``limit`` distinct combinations deterministically.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k == 1:
+        sets = [(f,) for f in universe]
+        if limit is not None and len(sets) > limit:
+            return [(f,) for f in sample_faults(universe, limit, seed)]
+        return sets
+    import math
+
+    total = math.comb(len(universe), k)
+    if limit is None or total <= limit:
+        return list(itertools.combinations(universe, k))
+    rng = np.random.default_rng(seed)
+    seen = set()
+    out: List[Tuple[Fault, ...]] = []
+    while len(out) < limit:
+        pick = tuple(
+            sorted(rng.choice(len(universe), size=k, replace=False).tolist())
+        )
+        if pick in seen:
+            continue
+        seen.add(pick)
+        out.append(tuple(universe[i] for i in pick))
+    return out
+
+
+def fault_set_id(faults: Union[Fault, Sequence[Fault]]) -> str:
+    """Stable identifier for a fault or fault set (checkpoint keys)."""
+    if not isinstance(faults, (list, tuple)):
+        faults = (faults,)
+    return "+".join(f.id for f in faults)

@@ -17,7 +17,7 @@ an output").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from .elements import Element, ELEMENT_META
 
@@ -58,6 +58,7 @@ class Netlist:
         outputs: Sequence[int],
         constants: Optional[Dict[int, int]] = None,
         name: str = "netlist",
+        control_wires: Iterable[int] = (),
     ) -> None:
         self.n_wires = n_wires
         self.elements: List[Element] = list(elements)
@@ -65,6 +66,13 @@ class Netlist:
         self.outputs: Tuple[int, ...] = tuple(outputs)
         self.constants: Dict[int, int] = dict(constants or {})
         self.name = name
+        #: Wires tagged by the builder as *steering* wires — the adaptive
+        #: control paths (patch-up selects, mux-merger middle bits, count
+        #: bits) that fault models single out.  Purely annotation: no
+        #: effect on simulation or accounting.  See
+        #: :func:`repro.circuits.faults.control_wires` for the union with
+        #: the control ports derived from the element list.
+        self.control_wires: FrozenSet[int] = frozenset(control_wires)
         self._depths: Optional[List[int]] = None
         self._cost: Optional[int] = None
         self._stats: Optional[CircuitStats] = None
@@ -72,38 +80,99 @@ class Netlist:
 
     # -- structural validation ---------------------------------------------
 
-    def validate(self) -> None:
-        """Check single-driver, topological-order, and arity invariants."""
-        driven = [False] * self.n_wires
+    def validate(self, strict: bool = False) -> None:
+        """Check single-driver, topological-order, and arity invariants.
+
+        With ``strict=False`` (the default, run on construction) the
+        first violation raises immediately.  With ``strict=True`` the
+        whole netlist is scanned and *every* violation is reported in one
+        error, and undriven wires feeding elements are diagnosed
+        precisely: a read of a wire that is driven by a *later* element
+        is reported as an ordering violation naming both elements, while
+        a read of a wire no input, constant, or element ever drives is
+        flagged as a genuinely floating wire.  Both would otherwise
+        surface only as garbage values deep inside the simulators (the
+        compiled engine evaluates over uninitialized storage and does not
+        re-validate), so ``validate(strict=True)`` is the debugging entry
+        point after hand-editing ``elements`` in place.
+        """
+        problems: List[str] = []
+
+        def fail(msg: str) -> None:
+            if strict:
+                problems.append(msg)
+            else:
+                raise ValueError(msg)
+
+        # driver[w]: None (undriven) or a human-readable driver label.
+        driver: List[Optional[str]] = [None] * self.n_wires
+        # In strict mode, pre-compute every element's outputs so reads of
+        # later-driven wires can be distinguished from floating wires.
+        future_driver: Dict[int, str] = {}
+        if strict:
+            for i, elem in enumerate(self.elements):
+                for w in elem.outs:
+                    if 0 <= w < self.n_wires and w not in future_driver:
+                        future_driver[w] = f"element #{i} ({elem.kind})"
+
+        def drive(w: int, label: str, what: str) -> None:
+            if not (0 <= w < self.n_wires):
+                fail(f"{what} wire {w} out of range [0, {self.n_wires})")
+                return
+            if driver[w] is not None:
+                fail(
+                    f"wire {w} has multiple drivers: "
+                    f"{driver[w]} and {label}"
+                )
+                return
+            driver[w] = label
+
         for w in self.inputs:
-            if driven[w]:
-                raise ValueError(f"wire {w} has multiple drivers")
-            driven[w] = True
+            drive(w, "primary input", "primary input")
         for w, v in self.constants.items():
             if v not in (0, 1):
-                raise ValueError(f"constant wire {w} has non-bit value {v!r}")
-            if driven[w]:
-                raise ValueError(f"wire {w} has multiple drivers")
-            driven[w] = True
-        for elem in self.elements:
-            elem.validate()
+                fail(f"constant wire {w} has non-bit value {v!r}")
+            drive(w, f"constant {v}", "constant")
+        for i, elem in enumerate(self.elements):
+            try:
+                elem.validate()
+            except ValueError as exc:
+                fail(f"element #{i} ({elem.kind}): {exc}")
+                continue
             for w in elem.ins:
                 if not (0 <= w < self.n_wires):
-                    raise ValueError(f"input wire {w} out of range")
-                if not driven[w]:
-                    raise ValueError(
-                        f"element {elem.kind} reads undriven wire {w}; "
-                        "elements must be appended in topological order"
+                    fail(
+                        f"element #{i} ({elem.kind}) reads wire {w} "
+                        f"out of range [0, {self.n_wires})"
                     )
+                elif driver[w] is None:
+                    if strict and w in future_driver:
+                        fail(
+                            f"element #{i} ({elem.kind}) reads wire {w} "
+                            f"before its driver {future_driver[w]}; "
+                            "elements must be appended in topological order"
+                        )
+                    else:
+                        fail(
+                            f"element #{i} ({elem.kind}) reads undriven "
+                            f"wire {w}; elements must be appended in "
+                            "topological order"
+                        )
             for w in elem.outs:
-                if not (0 <= w < self.n_wires):
-                    raise ValueError(f"output wire {w} out of range")
-                if driven[w]:
-                    raise ValueError(f"wire {w} has multiple drivers")
-                driven[w] = True
+                drive(w, f"element #{i} ({elem.kind})", f"element #{i} output")
         for w in self.outputs:
-            if not driven[w]:
-                raise ValueError(f"primary output {w} is undriven")
+            if not (0 <= w < self.n_wires):
+                fail(f"primary output wire {w} out of range [0, {self.n_wires})")
+            elif driver[w] is None:
+                fail(f"primary output {w} is undriven")
+        for w in self.control_wires:
+            if not (0 <= w < self.n_wires):
+                fail(f"control wire {w} out of range [0, {self.n_wires})")
+        if problems:
+            raise ValueError(
+                f"netlist {self.name!r}: {len(problems)} validation "
+                "problem(s):\n  " + "\n  ".join(problems)
+            )
 
     # -- accounting ----------------------------------------------------------
 

@@ -37,7 +37,7 @@ def prune_dead(netlist: Netlist) -> Netlist:
     constants = {w: v for w, v in netlist.constants.items() if w in needed}
     return Netlist(
         netlist.n_wires, kept, netlist.inputs, netlist.outputs,
-        constants, netlist.name,
+        constants, netlist.name, control_wires=netlist.control_wires,
     )
 
 
@@ -146,7 +146,8 @@ def fold_constants(netlist: Netlist) -> Netlist:
         used.update(e.ins)
     constants = {w: v for w, v in constants.items() if w in used}
     return Netlist(
-        n_wires, new_elements, netlist.inputs, outputs, constants, netlist.name
+        n_wires, new_elements, netlist.inputs, outputs, constants,
+        netlist.name, control_wires=netlist.control_wires,
     )
 
 

@@ -152,9 +152,18 @@ class PipelinedNetlist:
     (see :mod:`repro.circuits.engine`), so advancing one boundary is a
     handful of vectorized kernel calls instead of a per-element Python
     loop; a bubble slot is represented by a ``None`` boundary array.
+
+    ``transients`` accepts
+    :class:`~repro.circuits.faults.TransientFlip` faults (or bare
+    ``(wire, cycle)`` pairs): at clock ``cycle`` the value of
+    ``wire`` latched into its producing boundary register is inverted —
+    a single-cycle glitch on the physical wire.  Only the one in-flight
+    input whose values are being latched at that boundary is corrupted;
+    older inputs deeper in the pipeline latched before the glitch and
+    keep their correct values, exactly as hardware would.
     """
 
-    def __init__(self, netlist: Netlist) -> None:
+    def __init__(self, netlist: Netlist, transients=()) -> None:
         from .engine import fuse_elements
 
         self.netlist = netlist
@@ -174,12 +183,21 @@ class PipelinedNetlist:
             for lvl, idxs in self._by_level.items()
         }
         self._const_items = tuple(netlist.constants.items())
+        # Transient glitches: clock cycle -> wires flipped at that clock.
+        self._flips: Dict[int, List[int]] = {}
+        for f in transients:
+            wire, cycle = (f.wire, f.cycle) if hasattr(f, "wire") else f
+            if not (0 <= wire < netlist.n_wires):
+                raise ValueError(f"transient wire {wire} out of range")
+            self._flips.setdefault(cycle, []).append(wire)
+        self._clock = 0
         # Register state: state[L] is a (n_wires, 1) uint8 column of the
         # values crossing boundary L, or None for an invalid/bubble slot.
         self._state: List[Optional[np.ndarray]] = [None] * (self.latency + 1)
 
     def reset(self) -> None:
         self._state = [None] * (self.latency + 1)
+        self._clock = 0
 
     def step(self, inputs: Optional[Sequence[int]]) -> Optional[List[int]]:
         """Advance one clock cycle; see class docstring."""
@@ -212,6 +230,13 @@ class PipelinedNetlist:
             scratch = prev.copy()
             apply_steps(scratch, self._level_steps.get(L, ()), ones)
             new_state.append(scratch)
+        for w in self._flips.get(self._clock, ()):
+            # A glitch at this clock corrupts the value of wire w being
+            # latched *now*, i.e. at the boundary of w's pipeline level.
+            lvl = min(self.level.wire_levels[w], self.latency)
+            if new_state[lvl] is not None:
+                new_state[lvl][w, 0] ^= 1
+        self._clock += 1
         self._state = new_state
         last = self._state[self.latency]
         if last is None:

@@ -10,10 +10,18 @@ back the *same* :class:`Netlist` object while it stays alive, so the
 JSON disk cache composes with the weak-keyed compiled-plan cache in
 :mod:`repro.circuits.engine`: a netlist re-loaded between benchmark
 sweeps keeps its already-compiled execution plan.
+
+A ``(mtime_ns, size)`` match is *necessary but not sufficient* for
+freshness: an atomic replace (``os.replace`` of a same-length file with
+a forged or coarse-granularity mtime) can leave the key identical while
+the bytes differ.  Cache entries therefore also record the inode and a
+content hash; when the cheap key matches but the inode changed, the file
+content is re-hashed to decide between reuse and reload.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import weakref
@@ -24,10 +32,13 @@ from .netlist import Netlist
 
 FORMAT_VERSION = 1
 
-#: (realpath, mtime_ns, size) -> weakref to the loaded netlist.  Weak so
-#: the cache never extends a netlist's lifetime (mirroring the engine's
-#: plan cache); stale file keys are pruned on miss.
-_LOAD_CACHE: Dict[Tuple[str, int, int], "weakref.ref[Netlist]"] = {}
+#: (realpath, mtime_ns, size) -> (weakref to the loaded netlist, inode,
+#: sha256 of the file bytes).  Weak so the cache never extends a
+#: netlist's lifetime (mirroring the engine's plan cache); stale file
+#: keys are pruned on miss.
+_LOAD_CACHE: Dict[
+    Tuple[str, int, int], Tuple["weakref.ref[Netlist]", int, str]
+] = {}
 
 
 def to_json(netlist: Netlist) -> str:
@@ -39,6 +50,12 @@ def to_json(netlist: Netlist) -> str:
         "inputs": list(netlist.inputs),
         "outputs": list(netlist.outputs),
         "constants": {str(w): v for w, v in netlist.constants.items()},
+        # omitted when empty so pre-existing golden files stay byte-stable
+        **(
+            {"control_wires": sorted(netlist.control_wires)}
+            if netlist.control_wires
+            else {}
+        ),
         "elements": [
             {
                 "kind": e.kind,
@@ -75,6 +92,7 @@ def from_json(text: Union[str, bytes]) -> Netlist:
         outputs=payload["outputs"],
         constants={int(w): v for w, v in payload["constants"].items()},
         name=payload.get("name", "netlist"),
+        control_wires=payload.get("control_wires", ()),
     )
 
 
@@ -91,7 +109,14 @@ def load(path, cache: bool = True) -> Netlist:
     return the identical ``Netlist`` object while it is still alive
     elsewhere, so its compiled execution plan is reused.  Pass
     ``cache=False`` to force a fresh object (e.g. to mutate it).
+
+    Freshness is keyed on ``(realpath, mtime_ns, size)`` with an inode +
+    content-hash fallback: if the key matches but the inode differs (the
+    signature of an atomic ``os.replace`` with a same-length file and a
+    colliding mtime), the bytes are hashed and the cached object is only
+    reused when the content is genuinely identical.
     """
+    data = None
     if cache:
         try:
             st = os.stat(path)
@@ -99,15 +124,30 @@ def load(path, cache: bool = True) -> Netlist:
         except OSError:
             key = None
         if key is not None:
-            ref = _LOAD_CACHE.get(key)
-            hit = ref() if ref is not None else None
-            if hit is not None:
-                return hit
-    with open(path) as fh:
-        net = from_json(fh.read())
+            entry = _LOAD_CACHE.get(key)
+            if entry is not None:
+                ref, ino, digest = entry
+                hit = ref()
+                if hit is not None:
+                    if st.st_ino == ino:
+                        return hit
+                    # Same (mtime_ns, size) but a different inode: the
+                    # file was atomically replaced.  Fall back to content.
+                    with open(path, "rb") as fh:
+                        data = fh.read()
+                    if hashlib.sha256(data).hexdigest() == digest:
+                        return hit
+    if data is None:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    net = from_json(data)
     if cache and key is not None:
-        _LOAD_CACHE[key] = weakref.ref(net)
+        _LOAD_CACHE[key] = (
+            weakref.ref(net),
+            st.st_ino,
+            hashlib.sha256(data).hexdigest(),
+        )
         if len(_LOAD_CACHE) > 256:  # prune dead refs opportunistically
-            for k in [k for k, r in _LOAD_CACHE.items() if r() is None]:
+            for k in [k for k, e in _LOAD_CACHE.items() if e[0]() is None]:
                 del _LOAD_CACHE[k]
     return net

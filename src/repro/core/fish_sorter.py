@@ -136,13 +136,36 @@ class FishSorter:
         b = CircuitBuilder(f"fish-mux-{n}")
         wires = b.add_inputs(n)
         sel = b.add_inputs(self.lg_k)
+        b.tag_control(*sel)  # the group-select steering inputs
         self.input_mux = b.build(group_multiplexer(b, wires, self.group, sel))
         # (n/k, n)-demultiplexer back end
         b = CircuitBuilder(f"fish-demux-{n}")
         wires = b.add_inputs(self.group)
         sel = b.add_inputs(self.lg_k)
+        b.tag_control(*sel)
         self.output_demux = b.build(group_demultiplexer(b, wires, k, sel))
         self.merger = KWayMuxMerger(n, k)
+
+    # -- fault-injection hook ---------------------------------------------------
+
+    def clone_with_group_sorter(self, netlist: Netlist) -> "FishSorter":
+        """Return a copy of this sorter with ``netlist`` as the group sorter.
+
+        The time-shared group sorter is the single point of failure of
+        Model B hardware — one physical fault corrupts every group that
+        passes through it.  Fault campaigns use this hook to substitute a
+        mutated netlist (see :mod:`repro.circuits.faults`) while reusing
+        the mux/demux/merger stages unchanged.
+        """
+        if len(netlist.inputs) != len(self.group_sorter.inputs):
+            raise ValueError(
+                f"group sorter needs {len(self.group_sorter.inputs)} inputs, "
+                f"got {len(netlist.inputs)}"
+            )
+        clone = object.__new__(FishSorter)
+        clone.__dict__.update(self.__dict__)
+        clone.group_sorter = netlist
+        return clone
 
     # -- cost ------------------------------------------------------------------
 
@@ -192,7 +215,7 @@ class FishSorter:
         out, _, report = self.sort_with_payload(bits, None, pipelined=pipelined)
         return out, report
 
-    def sort_cycle_accurate(self, bits) -> Tuple[np.ndarray, SortReport]:
+    def sort_cycle_accurate(self, bits, transients=()) -> Tuple[np.ndarray, SortReport]:
         """Pipelined sort with phase 1 on a real register-transfer pipeline.
 
         Instead of charging the pipelined makespan algebraically, this
@@ -203,6 +226,12 @@ class FishSorter:
         to ``sort(..., pipelined=True)`` (asserted by tests), it exists
         to demonstrate Model B's clocked semantics are real, not
         notational.
+
+        ``transients`` is an optional sequence of ``(wire, cycle)``
+        single-cycle bit flips injected into the pipeline's register
+        state (see :class:`~repro.circuits.sequential.PipelinedNetlist`);
+        fault campaigns use it to model per-cycle glitches that corrupt
+        only the group in flight at that clock.
         """
         from ..circuits.sequential import PipelinedNetlist
 
@@ -213,7 +242,7 @@ class FishSorter:
         groups = [
             bits[i * g : (i + 1) * g].tolist() for i in range(k)
         ]
-        pipeline = PipelinedNetlist(self.group_sorter)
+        pipeline = PipelinedNetlist(self.group_sorter, transients=transients)
         sorted_groups, makespan = pipeline.run(groups)
         staged = np.array(
             [bit for grp in sorted_groups for bit in grp], dtype=np.uint8

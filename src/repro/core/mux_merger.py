@@ -92,6 +92,9 @@ def mux_merger(
         raise ValueError(f"mux-merger needs n divisible by 4, got {n}")
     sel_hi = wires[n // 4]
     sel_lo = wires[3 * n // 4]
+    # The middle bits double as data and steering; tag them explicitly
+    # (the four-way swappers also auto-tag them via their select ports).
+    b.tag_control(sel_hi, sel_lo)
     staged = four_way_swapper(b, wires, sel_hi, sel_lo, in_perms)
     merged = mux_merger(b, staged[n // 2 :], in_perms, out_perms)
     return four_way_swapper(

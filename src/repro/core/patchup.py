@@ -74,6 +74,12 @@ def patchup_network(
         lo, hi = b.comparator(wires[0], wires[1])
         return [lo, hi]
     staged = balanced_comparator_stage(b, wires)
+    # The two count bits consumed here and the derived select are the
+    # level's adaptive steering path; tag them so fault models can
+    # target the prefix-adder→patch-up control wires specifically (the
+    # remaining count bits steer only deeper recursion levels, where
+    # they are tagged by the level that reads them).
+    b.tag_control(count_bits[lg_n], count_bits[lg_n - 1])
     select = b.or_(count_bits[lg_n], count_bits[lg_n - 1])
     swapped = two_way_swapper(b, staged, select)
     child_count = list(count_bits[: lg_n - 1]) + [count_bits[lg_n]]

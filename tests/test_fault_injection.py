@@ -5,35 +5,28 @@ mutate known-good netlists — swap a comparator's outputs, flip a swap
 table entry, lie to the steering logic — and assert the exhaustive
 verifier flags every mutant.  (A mutant that survives would mean our
 "sorts everything" evidence was vacuous.)
-"""
 
-import copy
+Mutations go through the first-class fault-model layer
+(:mod:`repro.circuits.faults`); see ``test_faults.py`` for the layer's
+own unit tests and ``test_property_faults.py`` for the property-based
+steering-wire coverage.
+"""
 
 import numpy as np
 import pytest
 
 from repro.analysis import verify_sorter_exhaustive
-from repro.circuits import Netlist, simulate
-from repro.circuits.elements import Element
+from repro.circuits import Netlist, OutputSwap, apply_fault, simulate
 from repro.core import build_mux_merger_sorter, build_prefix_sorter
 from repro.core.mux_merger import IN_SWAP_PERMS, OUT_SWAP_PERMS, build_mux_merger
 
 
 def _mutate_comparator(net: Netlist, idx: int) -> Netlist:
     """Swap the outputs of the idx-th comparator (min/max exchanged)."""
-    elements = list(net.elements)
-    count = -1
-    for i, e in enumerate(elements):
-        if e.kind == "COMPARATOR":
-            count += 1
-            if count == idx:
-                elements[i] = Element(e.kind, e.ins, (e.outs[1], e.outs[0]), e.params)
-                break
-    else:
-        raise IndexError(idx)
-    return Netlist(
-        net.n_wires, elements, net.inputs, net.outputs, net.constants, net.name
-    )
+    comparators = [
+        i for i, e in enumerate(net.elements) if e.kind == "COMPARATOR"
+    ]
+    return apply_fault(net, OutputSwap(comparators[idx]))
 
 
 class TestComparatorFaults:

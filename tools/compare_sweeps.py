@@ -5,7 +5,7 @@ Usage::
 
     python tools/compare_sweeps.py baseline.json current.json [--tol 0.0]
     python tools/compare_sweeps.py BENCH_engine.base.json BENCH_engine.json \
-        --tol 0.3 [--min-speedup 5.0]
+        --tol 0.3 [--min-speedup 5.0] [--report drift.json]
 
 Two record formats are understood, auto-detected per file:
 
@@ -25,9 +25,16 @@ Exit status 1 on drift, 2 on usage errors.
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from typing import Dict, List, Tuple
+
+# Allow `python tools/compare_sweeps.py` without an exported PYTHONPATH
+# (only needed for --report, which uses repro.ioutil).
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if os.path.isdir(_SRC) and os.path.abspath(_SRC) not in map(os.path.abspath, sys.path):
+    sys.path.insert(0, os.path.abspath(_SRC))
 
 FIELDS = ("cost", "depth", "time")
 
@@ -112,6 +119,12 @@ def main(argv=None) -> int:
         default=None,
         help="fail any engine-bench record below this absolute speedup",
     )
+    parser.add_argument(
+        "--report",
+        type=pathlib.Path,
+        default=None,
+        help="also write the verdict as JSON (atomically replaced)",
+    )
     args = parser.parse_args(argv)
     for p in (args.baseline, args.current):
         if not p.is_file():
@@ -121,6 +134,19 @@ def main(argv=None) -> int:
     drifts = compare(load(args.baseline), current, args.tol)
     if _is_engine(current):
         drifts.extend(check_floor(current, args.min_speedup))
+    if args.report is not None:
+        from repro.ioutil import atomic_write_json
+
+        atomic_write_json(
+            args.report,
+            {
+                "baseline": str(args.baseline),
+                "current": str(args.current),
+                "tol": args.tol,
+                "drifts": drifts,
+                "ok": not drifts,
+            },
+        )
     if drifts:
         print(f"{len(drifts)} drift(s) beyond tol={args.tol}:")
         for line in drifts:

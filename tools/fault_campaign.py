@@ -1,0 +1,333 @@
+#!/usr/bin/env python
+"""Fault-injection campaign over the paper's sorting networks.
+
+Usage::
+
+    python tools/fault_campaign.py --n 16 \
+        --networks prefix,mux_merger,fish \
+        --faults stuck,control,transient [--k 1] [--out FAULTS.json]
+
+For every requested network the campaign enumerates (and deterministically
+samples, when large) the requested fault universe from
+:mod:`repro.circuits.faults`, applies each fault set by netlist rewriting,
+and classifies the broken sorter on a probe batch:
+
+* ``masked``   — every probe output correct (logical redundancy);
+* ``detected`` — some wrong output is non-monotone, i.e. an output-only
+  sortedness monitor catches it;
+* ``silent-corruption`` — all wrong outputs still look sorted (the
+  dangerous class: plausible answer, wrong content).
+
+Damage on wrong rows is scored with binary displacement measures
+(inversions = Kendall tau to sorted, ones-displacement, Hamming,
+popcount delta) — see :mod:`repro.analysis.resilience`.  Every record
+also carries a ``divergences`` count from re-running the *same* mutated
+netlist through the element-at-a-time interpreter and comparing against
+the compiled engine row-for-row: the two simulators must agree on every
+broken circuit, not just healthy ones.
+
+Fault models per network:
+
+* ``prefix`` / ``mux_merger`` (Model A, combinational): stuck-at-0/1 on
+  any driven wire, output-swap on routing elements, control-line
+  inversion on the tagged adaptive steering wires.  A ``transient`` on a
+  combinational network evaluated in one pass is a glitch lasting the
+  whole evaluation, i.e. an inversion — modelled exactly so.
+* ``fish`` (Model B, time-multiplexed): structural faults target the
+  *group sorter* — the single time-shared physical netlist every group
+  passes through, hence the architecture's single point of failure.
+  ``transient`` faults are genuine per-cycle register glitches injected
+  into the :class:`~repro.circuits.sequential.PipelinedNetlist` running
+  the cycle-accurate Model-B schedule: only the group in flight at the
+  glitched clock is corrupted.
+
+The results file is checkpointed with atomic writes (tmp + ``os.replace``)
+every ``--checkpoint-every`` records, so a crashed or SIGKILLed campaign
+resumes where it left off (``--no-resume`` to start over); completed
+record ids are never re-run or duplicated.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+# Allow `python tools/fault_campaign.py` without an exported PYTHONPATH.
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if os.path.isdir(_SRC) and os.path.abspath(_SRC) not in map(os.path.abspath, sys.path):
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+import numpy as np
+
+FORMAT_VERSION = 1
+NETWORKS = ("prefix", "mux_merger", "fish")
+FAULT_KINDS = ("stuck", "swap", "control", "transient")
+
+
+def _seed_for(seed: int, *parts) -> int:
+    """Stable per-(network, kind) RNG seed derived from the campaign seed."""
+    h = seed & 0xFFFFFFFFFFFFFFFF
+    for p in parts:
+        for ch in str(p):
+            h = ((h * 1099511628211) ^ ord(ch)) & 0xFFFFFFFFFFFFFFFF
+    return h & 0x7FFFFFFF
+
+
+def _probe_batch(n: int, probes: int, seed: int) -> np.ndarray:
+    """Exhaustive 0-1 probes when feasible, else a seeded random batch."""
+    from repro.circuits import exhaustive_inputs
+
+    if n <= 16:
+        return exhaustive_inputs(n)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, (probes, n)).astype(np.uint8)
+
+
+def _fault_universe(net, kinds, cycles, max_faults: int, k: int, seed: int, tag: str):
+    """Sampled fault universe for one network, grouped per kind.
+
+    Returns ``[(kind_label, [fault_set, ...]), ...]`` where each fault
+    set is a tuple of faults (singletons unless ``k > 1``).
+    """
+    from repro.circuits import enumerate_faults, k_fault_sets, sample_faults
+
+    out = []
+    for kind in kinds:
+        singles = enumerate_faults(
+            net, kinds=(kind,), cycles=cycles if kind == "transient" else None
+        )
+        if not singles:
+            continue
+        if k <= 1:
+            sets = [(f,) for f in sample_faults(singles, max_faults, _seed_for(seed, tag, kind))]
+            label = kind
+        else:
+            sets = k_fault_sets(singles, k, limit=max_faults, seed=_seed_for(seed, tag, kind))
+            label = f"{kind}-k{k}"
+        out.append((label, sets))
+    return out
+
+
+def _classify_combinational(mutant, probes, expected, diff_rows: int):
+    """Engine classification + interpreter differential for one mutant."""
+    from repro.analysis.resilience import classify, damage_metrics
+    from repro.circuits import simulate
+    from repro.circuits.simulate import simulate_interpreted
+
+    out = simulate(mutant, probes)
+    sub = probes[:diff_rows]
+    divergences = int(
+        (simulate_interpreted(mutant, sub) != out[: sub.shape[0]]).any(axis=1).sum()
+    )
+    return classify(out, expected), damage_metrics(out, expected), divergences
+
+
+def run_network_combinational(name, net, args, done, emit):
+    from repro.circuits import apply_faults, fault_set_id, get_plan, StuckAt
+    from repro.circuits.faults import driven_wires
+
+    probes = _probe_batch(args.n, args.probes, _seed_for(args.seed, name, "probes"))
+    expected = np.sort(probes, axis=1)
+    get_plan(net)  # compile the healthy plan once (mutants compile per-fault)
+    groups = _fault_universe(
+        net, args.faults, cycles=[0], max_faults=args.max_faults,
+        k=args.k, seed=args.seed, tag=name,
+    )
+    # Fault-activation profile: tap every sampled stuck-at wire on the
+    # *healthy* netlist in one batched pass; activation = fraction of
+    # probes where the wire's real value differs from the stuck value.
+    stuck_wires = sorted(
+        {f.wire for _, sets in groups for fs in sets for f in fs if isinstance(f, StuckAt)}
+        & set(driven_wires(net))
+    )
+    activation = {}
+    if stuck_wires:
+        _, tapped = get_plan(net).execute(probes, taps=stuck_wires)
+        for i, w in enumerate(stuck_wires):
+            activation[w] = float(tapped[:, i].mean())
+    for kind, sets in groups:
+        for faults in sets:
+            rid = f"{name}/{fault_set_id(faults)}"
+            if rid in done:
+                continue
+            mutant = apply_faults(net, faults)
+            outcome, damage, div = _classify_combinational(
+                mutant, probes, expected, args.diff_rows
+            )
+            act = None
+            if len(faults) == 1 and isinstance(faults[0], StuckAt):
+                w, v = faults[0].wire, faults[0].value
+                if w in activation:
+                    act = activation[w] if v == 0 else 1.0 - activation[w]
+            emit({
+                "id": rid,
+                "network": name,
+                "kind": kind,
+                "faults": [f.id for f in faults],
+                "outcome": outcome,
+                "damage": damage,
+                "divergences": div,
+                "activation": act,
+            })
+
+
+def run_network_fish(args, done, emit):
+    """Campaign over Network 3: structural faults on the time-shared group
+    sorter; transients on the cycle-accurate Model-B pipeline."""
+    from repro.analysis.resilience import classify, damage_metrics
+    from repro.circuits import (
+        TransientFlip, apply_faults, fault_set_id, simulate,
+    )
+    from repro.circuits.sequential import levelize
+    from repro.circuits.simulate import simulate_interpreted
+    from repro.core.fish_sorter import FishSorter
+
+    fs = FishSorter(args.n)
+    target = fs.group_sorter
+    latency = levelize(target).n_levels
+    cycles = list(range(fs.k + latency))
+    rng = np.random.default_rng(_seed_for(args.seed, "fish", "probes"))
+    probes = rng.integers(0, 2, (args.fish_probes, args.n)).astype(np.uint8)
+    expected = np.sort(probes, axis=1)
+    # Interpreter-vs-engine differential probes for the mutated group
+    # netlist: exhaustive over the group width (it is small by design).
+    from repro.circuits import exhaustive_inputs
+
+    gprobes = exhaustive_inputs(min(fs.group, 12))
+    groups = _fault_universe(
+        target, args.faults, cycles=cycles, max_faults=args.max_faults,
+        k=args.k, seed=args.seed, tag="fish",
+    )
+    for kind, sets in groups:
+        for faults in sets:
+            rid = f"fish/{fault_set_id(faults)}"
+            if rid in done:
+                continue
+            transients = [f for f in faults if isinstance(f, TransientFlip)]
+            structural = [f for f in faults if not isinstance(f, TransientFlip)]
+            mutant = apply_faults(target, structural) if structural else target
+            runner = fs.clone_with_group_sorter(mutant) if structural else fs
+            out = np.stack([
+                runner.sort_cycle_accurate(row, transients=transients)[0]
+                for row in probes
+            ])
+            # Same-fault differential: the mutated group netlist through
+            # both simulators (transients project to inversions there).
+            diff_net = apply_faults(mutant, transients) if transients else mutant
+            divergences = int(
+                (simulate(diff_net, gprobes) != simulate_interpreted(diff_net, gprobes))
+                .any(axis=1).sum()
+            )
+            emit({
+                "id": rid,
+                "network": "fish",
+                "kind": kind,
+                "faults": [f.id for f in faults],
+                "outcome": classify(out, expected),
+                "damage": damage_metrics(out, expected),
+                "divergences": divergences,
+                "activation": None,
+            })
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--n", type=int, default=16)
+    parser.add_argument("--networks", default="prefix,mux_merger,fish")
+    parser.add_argument("--faults", default="stuck,swap,control,transient")
+    parser.add_argument("--k", type=int, default=1,
+                        help="fault multiplicity (k-fault sets instead of singletons)")
+    parser.add_argument("--max-faults", type=int, default=80,
+                        help="sampling cap per (network, fault kind)")
+    parser.add_argument("--probes", type=int, default=512,
+                        help="random probe rows when exhaustive (n<=16) is infeasible")
+    parser.add_argument("--fish-probes", type=int, default=24,
+                        help="probe vectors per fault for the cycle-accurate fish path")
+    parser.add_argument("--diff-rows", type=int, default=256,
+                        help="probe rows re-run through the interpreter per fault")
+    parser.add_argument("--seed", type=int, default=0xFA17)
+    parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("FAULTS.json"))
+    parser.add_argument("--checkpoint-every", type=int, default=20)
+    parser.add_argument("--no-resume", action="store_true",
+                        help="ignore an existing checkpoint and start over")
+    args = parser.parse_args(argv)
+
+    networks = [s for s in args.networks.split(",") if s]
+    faults = [s for s in args.faults.split(",") if s]
+    for s in networks:
+        if s not in NETWORKS:
+            print(f"unknown network {s!r} (choose from {', '.join(NETWORKS)})")
+            return 2
+    for s in faults:
+        if s not in FAULT_KINDS:
+            print(f"unknown fault kind {s!r} (choose from {', '.join(FAULT_KINDS)})")
+            return 2
+    args.faults = faults
+
+    from repro.analysis.resilience import format_resilience_table, summarize
+    from repro.ioutil import atomic_write_json
+
+    meta = {
+        "version": FORMAT_VERSION,
+        "n": args.n,
+        "networks": networks,
+        "faults": faults,
+        "k": args.k,
+        "seed": args.seed,
+        "max_faults": args.max_faults,
+        "complete": False,
+    }
+    records = []
+    if args.out.is_file() and not args.no_resume:
+        try:
+            prior = json.loads(args.out.read_text())
+        except (ValueError, OSError):
+            prior = None  # unreadable checkpoint: start over
+        if prior and prior.get("meta", {}).get("version") == FORMAT_VERSION:
+            same = {k: prior["meta"].get(k) for k in meta if k != "complete"}
+            if same == {k: v for k, v in meta.items() if k != "complete"}:
+                records = prior.get("records", [])
+                print(f"resuming from {args.out}: {len(records)} records done")
+            else:
+                print(f"checkpoint {args.out} is from different settings; starting over")
+    done = {r["id"] for r in records}
+
+    state = {"since_checkpoint": 0}
+
+    def emit(record):
+        records.append(record)
+        done.add(record["id"])
+        state["since_checkpoint"] += 1
+        if state["since_checkpoint"] >= args.checkpoint_every:
+            atomic_write_json(args.out, {"meta": meta, "records": records})
+            state["since_checkpoint"] = 0
+
+    from repro.core.mux_merger import build_mux_merger_sorter
+    from repro.core.prefix_sorter import build_prefix_sorter
+
+    builders = {"prefix": build_prefix_sorter, "mux_merger": build_mux_merger_sorter}
+    for name in networks:
+        before = len(records)
+        if name == "fish":
+            run_network_fish(args, done, emit)
+        else:
+            run_network_combinational(name, builders[name](args.n), args, done, emit)
+        print(f"{name}: {len(records) - before} new records ({len(records)} total)")
+
+    summary = summarize(records)
+    meta["complete"] = True
+    atomic_write_json(args.out, {"meta": meta, "records": records, "summary": summary})
+    print(f"wrote {args.out}: {len(records)} records")
+    print()
+    print(format_resilience_table(summary, title=f"Fault resilience (n={args.n})"))
+    total_div = sum(r["divergences"] for r in records)
+    detected = sum(1 for r in records if r["outcome"] == "detected")
+    print(f"\ndetected: {detected}/{len(records)}; interpreter/engine divergences: {total_div}")
+    return 1 if total_div else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -138,10 +138,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out", type=pathlib.Path, default=None)
     args = parser.parse_args(argv)
+    from repro.ioutil import atomic_write_text
+
     if args.engine_bench:
         out = args.out or pathlib.Path("BENCH_engine.json")
         records = run_engine_bench()
-        out.write_text(json.dumps(records, indent=1))
+        atomic_write_text(out, json.dumps(records, indent=1))
         print(f"wrote {out}: {len(records)} engine-bench records")
         return 0
     out = args.out or pathlib.Path("sweep.json")
@@ -149,7 +151,7 @@ def main(argv=None) -> int:
         print("need 2 <= min-lg <= max-lg <= 14")
         return 2
     records = run_sweep(args.max_lg, args.min_lg)
-    out.write_text(json.dumps(records, indent=1))
+    atomic_write_text(out, json.dumps(records, indent=1))
     print(f"wrote {out}: {len(records)} records "
           f"({len(NETWORKS)} networks x n = 2^{args.min_lg}..2^{args.max_lg})")
     return 0
