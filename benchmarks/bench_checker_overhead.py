@@ -1,0 +1,152 @@
+"""Overhead of self-checking sorters (concurrent error detection).
+
+Measures what the :mod:`repro.circuits.checkers` transform costs on the
+two combinational networks, in the paper's accounting units and in
+wall-clock latency:
+
+* **cost/depth** — the checked netlist minus the plain one, asserted
+  against the closed-form bounds (sortedness ``3n - 4`` exactly; the
+  count checker under its two-popcount + equality-tree bound), so the
+  self-checking variants provably stay in the paper's cost model;
+* **latency** — compiled-engine batch simulation of the checked vs the
+  plain netlist (the checkers ride the same level-batched plan, so the
+  slowdown tracks their share of elements, not a second pass).
+
+The series is written to ``benchmarks/results/BENCH_checkers.json`` in
+``tools/sweep.py`` record format — ``cost``/``depth`` are exact
+structural figures, ``time`` is the (noisy) checked/plain latency ratio
+— so ``tools/compare_sweeps.py`` gates drift between runs
+(``--tol 0.5`` recommended: latency ratios wobble, structure must not).
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.circuits import get_plan
+from repro.circuits.checkers import (
+    count_checker_cost_bound,
+    count_checker_depth_bound,
+    sortedness_checker_cost,
+    with_checkers,
+)
+from repro.core import build_mux_merger_sorter, build_prefix_sorter
+
+BUILDERS = {"prefix": build_prefix_sorter, "mux_merger": build_mux_merger_sorter}
+NS = (8, 16, 32, 64)
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _overhead_series(rng):
+    records = []
+    for name, build in sorted(BUILDERS.items()):
+        for n in NS:
+            plain = build(n)
+            checked = with_checkers(plain, sortedness=True, count=True,
+                                    control=True)
+            batch = rng.integers(0, 2, (64, n)).astype(np.uint8)
+            plain_plan, checked_plan = get_plan(plain), get_plan(checked.netlist)
+            plain_s = _best_of(lambda: plain_plan.execute(batch))
+            checked_s = _best_of(lambda: checked_plan.execute(batch))
+            records.append({
+                "network": f"{name}+checkers",
+                "n": n,
+                "cost": checked.overhead_cost,
+                "depth": checked.overhead_depth,
+                "time": round(checked_s / plain_s, 2),
+                "base_cost": plain.cost(),
+                "base_depth": plain.depth(),
+                "cost_frac": round(checked.overhead_cost / plain.cost(), 3),
+            })
+    return records
+
+
+def test_checker_overhead_series(benchmark, emit, results_dir, rng):
+    records = _overhead_series(rng)
+    # one representative timing for the pytest-benchmark ledger
+    net = build_mux_merger_sorter(64)
+    checked = with_checkers(net, sortedness=True, count=True, control=True)
+    batch = rng.integers(0, 2, (64, 64)).astype(np.uint8)
+    plan = get_plan(checked.netlist)
+    out = benchmark(plan.execute, batch)
+    data = np.asarray(out)[:, : checked.n_data]
+    assert np.array_equal(data, np.sort(batch, axis=1))
+
+    for r in records:
+        name = r["network"].split("+")[0]
+        n = r["n"]
+        # structural overhead within the closed-form envelope
+        bound = (sortedness_checker_cost(n) + count_checker_cost_bound(n))
+        sortedness_and_count = with_checkers(
+            BUILDERS[name](n), sortedness=True, count=True, control=False
+        )
+        assert sortedness_and_count.overhead_cost <= bound
+        assert sortedness_and_count.overhead_depth <= (
+            2 + (n - 2).bit_length() + count_checker_depth_bound(n)
+        )
+        # the complete-detector pair (sortedness + count) is the headline:
+        # already ~1x the sorter at n=64 and shrinking relatively with n
+        # (O(n lg lg n) checkers vs O(n lg n) sorters)
+        assert sortedness_and_count.overhead_cost <= 2.5 * r["base_cost"], r
+        # full suite adds the duplicated steering cone — bounded, not free
+        assert r["cost"] <= 3.5 * r["base_cost"], r
+        # latency: same compiled plan, so well under 5x even at n=8
+        assert r["time"] < 5.0, r
+
+    # relative overhead must shrink as n grows, per network
+    for name in BUILDERS:
+        fracs = [r["cost_frac"] for r in records
+                 if r["network"] == f"{name}+checkers"]
+        assert fracs == sorted(fracs, reverse=True), (name, fracs)
+
+    (results_dir / "BENCH_checkers.json").write_text(
+        json.dumps(records, indent=1) + "\n"
+    )
+    emit(format_table(
+        ["network", "n", "base cost", "+cost", "+depth", "cost frac", "lat x"],
+        [[r["network"], r["n"], r["base_cost"], r["cost"], r["depth"],
+          f"{r['cost_frac']:.3f}", f"{r['time']:.2f}"] for r in records],
+        title="Self-checking overhead (sortedness + count + control)",
+    ))
+
+
+def test_checker_overhead_gated_by_compare_sweeps(results_dir, rng, tmp_path):
+    """The emitted series is valid compare_sweeps input: identical runs
+    show zero drift; a structural change trips the gate."""
+    import importlib.util
+    import pathlib
+
+    tool = pathlib.Path(__file__).parent.parent / "tools" / "compare_sweeps.py"
+    spec = importlib.util.spec_from_file_location("compare_sweeps", tool)
+    compare_sweeps = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(compare_sweeps)
+
+    records = _overhead_series(rng)
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(records))
+    current = json.loads(base.read_text())
+    a = compare_sweeps.load(base)
+    # identical structure, wobbled timing: --tol 0.5 passes
+    for r in current:
+        r["time"] = round(r["time"] * 1.2, 2)
+    cur = tmp_path / "cur.json"
+    cur.write_text(json.dumps(current))
+    b = compare_sweeps.load(cur)
+    drift_ok = compare_sweeps.compare(a, b, tol=0.5)
+    assert drift_ok == [], drift_ok
+    # a cost regression (checker got bigger) must trip the gate
+    current[0]["cost"] += 100
+    cur.write_text(json.dumps(current))
+    drift_bad = compare_sweeps.compare(a, compare_sweeps.load(cur), tol=0.5)
+    assert any("cost" in d for d in drift_bad)

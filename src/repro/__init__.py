@@ -26,7 +26,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
-from . import analysis, baselines, circuits, components, core, networks, viz
+from . import analysis, baselines, circuits, components, core, networks, runtime, viz
+from .errors import (
+    BuildError,
+    CheckerAlarm,
+    DeadlineExceeded,
+    ReproError,
+    SimulationError,
+)
 from .ioutil import atomic_write_json, atomic_write_text
 from .core import (
     FishSorter,
@@ -36,7 +43,10 @@ from .core import (
     build_mux_merger_sorter,
     build_patchup_network,
     build_prefix_sorter,
+    cache_info,
+    clear_cache,
     make_sorter,
+    set_cache_limit,
     sort_bits,
 )
 from .networks import (
@@ -51,11 +61,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BenesNetwork",
+    "BuildError",
+    "CheckerAlarm",
+    "DeadlineExceeded",
     "FishConcentrator",
     "FishSorter",
     "KWayMuxMerger",
     "RadixPermuter",
     "RadixWordSorter",
+    "ReproError",
+    "SimulationError",
     "SortReport",
     "SortingConcentrator",
     "analysis",
@@ -66,11 +81,15 @@ __all__ = [
     "build_mux_merger_sorter",
     "build_patchup_network",
     "build_prefix_sorter",
+    "cache_info",
     "circuits",
+    "clear_cache",
     "components",
     "core",
     "make_sorter",
     "networks",
+    "runtime",
+    "set_cache_limit",
     "sort_bits",
     "viz",
 ]

@@ -26,7 +26,9 @@ from .resilience import (
     MASKED,
     OUTCOMES,
     SILENT,
+    alarm_stats,
     classify,
+    classify_with_alarms,
     damage_metrics,
     format_resilience_table,
     monotone_rows,
@@ -54,9 +56,11 @@ __all__ = [
     "SILENT",
     "aks_cost_crossover",
     "aks_time_crossover",
+    "alarm_stats",
     "batcher_improvement_factor",
     "build_patchup_naive",
     "classify",
+    "classify_with_alarms",
     "damage_metrics",
     "find_crossover",
     "fish_k_sweep",

@@ -94,6 +94,57 @@ def classify(out, expected) -> str:
     return SILENT
 
 
+def classify_with_alarms(out, alarms, expected) -> str:
+    """Classify a fault run on *self-checking* hardware.
+
+    ``alarms`` is the per-row alarm matrix (or vector) emitted by the
+    concurrent checkers of :mod:`repro.circuits.checkers`.  A wrong row
+    counts as detected if it is non-monotone (the offline criterion of
+    :func:`classify`) **or** any alarm fired on it — the checkers turn
+    previously-silent monotone-but-wrong outputs into detections.
+    ``silent-corruption`` survives only if some wrong row is monotone
+    *and* alarm-free.
+    """
+    a, e = _as_batch(out), _as_batch(expected)
+    if a.shape != e.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {e.shape}")
+    al = np.asarray(alarms, dtype=bool)
+    if al.ndim == 2:
+        al = al.any(axis=1)
+    if al.shape != (a.shape[0],):
+        raise ValueError(
+            f"alarms must be per-row: got {al.shape} for batch {a.shape}"
+        )
+    wrong = (a != e).any(axis=1)
+    if not wrong.any():
+        return MASKED
+    undetected = wrong & monotone_rows(a) & ~al
+    return SILENT if undetected.any() else DETECTED
+
+
+def alarm_stats(out, alarms, expected) -> Dict[str, float]:
+    """Alarm quality over one fault run on self-checking hardware.
+
+    * ``coverage`` — fraction of wrong rows on which an alarm fired;
+    * ``false_alarm_rate`` — fraction of *correct* rows that alarmed
+      (should be 0 for a fault outside the checker itself);
+    * ``alarmed_rows`` / ``wrong_rows`` — the raw counts.
+    """
+    a, e = _as_batch(out), _as_batch(expected)
+    al = np.asarray(alarms, dtype=bool)
+    if al.ndim == 2:
+        al = al.any(axis=1)
+    wrong = (a != e).any(axis=1)
+    n_wrong = int(wrong.sum())
+    n_right = int((~wrong).sum())
+    return {
+        "alarmed_rows": int(al.sum()),
+        "wrong_rows": n_wrong,
+        "coverage": float(al[wrong].mean()) if n_wrong else 1.0,
+        "false_alarm_rate": float(al[~wrong].mean()) if n_right else 0.0,
+    }
+
+
 def damage_metrics(out, expected) -> Dict[str, float]:
     """Damage scores over the wrong rows of one fault run.
 

@@ -19,9 +19,28 @@ as executable circuits with the exact cost/depth accounting of Section II:
   output-swap, control-line inversion, per-cycle transients) applied by
   netlist rewriting, so both the interpreter and the compiled engine
   evaluate the identical broken circuit.
+* :mod:`~repro.circuits.checkers` — gate-level concurrent error
+  detection (sortedness, ones-count preservation, control
+  duplicate-and-compare) attachable to any netlist via
+  :func:`~repro.circuits.checkers.with_checkers`, with closed-form
+  overhead bounds in the paper's cost model.
 """
 
 from .builder import CircuitBuilder
+from .checkers import (
+    CheckedNetlist,
+    OutputChecker,
+    build_output_checker,
+    control_checker_overhead,
+    control_cone,
+    count_checker_cost_bound,
+    count_checker_depth_bound,
+    popcount_cost_bound,
+    popcount_depth_bound,
+    sortedness_checker_cost,
+    sortedness_checker_depth,
+    with_checkers,
+)
 from .elements import Element, ELEMENT_META
 from .engine import (
     ExecutionPlan,
@@ -73,6 +92,7 @@ from .simulate import (
 )
 
 __all__ = [
+    "CheckedNetlist",
     "CircuitBuilder",
     "CircuitStats",
     "ControlInvert",
@@ -83,6 +103,7 @@ __all__ = [
     "LevelizedNetlist",
     "NO_PAYLOAD",
     "Netlist",
+    "OutputChecker",
     "OutputSwap",
     "PACKED_MIN_BATCH",
     "PipelinedNetlist",
@@ -93,10 +114,15 @@ __all__ = [
     "TransientFlip",
     "apply_fault",
     "apply_faults",
+    "build_output_checker",
     "build_time_multiplexed_stage",
     "clear_plan_cache",
     "compile_plan",
+    "control_checker_overhead",
+    "control_cone",
     "control_wires",
+    "count_checker_cost_bound",
+    "count_checker_depth_bound",
     "critical_path",
     "enumerate_faults",
     "equivalent",
@@ -116,6 +142,8 @@ __all__ = [
     "optimize",
     "path_kind_summary",
     "plan_cache_size",
+    "popcount_cost_bound",
+    "popcount_depth_bound",
     "prune_dead",
     "random_netlist",
     "run_pipelined",
@@ -126,5 +154,8 @@ __all__ = [
     "simulate_interpreted",
     "simulate_payload",
     "simulate_payload_interpreted",
+    "sortedness_checker_cost",
+    "sortedness_checker_depth",
     "to_json",
+    "with_checkers",
 ]

@@ -31,6 +31,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from . import elements as el
+from ..errors import SimulationError
 from .engine import NO_PAYLOAD, get_plan
 from .netlist import Netlist
 
@@ -46,9 +47,11 @@ def _as_batch(inputs) -> np.ndarray:
     if arr.ndim == 1:
         arr = arr[np.newaxis, :]
     if arr.ndim != 2:
-        raise ValueError(f"inputs must be 1-D or 2-D, got shape {arr.shape}")
+        raise SimulationError(
+            f"inputs must be 1-D or 2-D, got shape {arr.shape}"
+        )
     if converted and arr.size and arr.max() > 1:
-        raise ValueError("inputs must be 0/1 values")
+        raise SimulationError("inputs must be 0/1 values")
     return arr
 
 
@@ -72,7 +75,7 @@ def simulate(netlist: Netlist, inputs) -> np.ndarray:
     """
     batch = _as_batch(inputs)
     if batch.shape[1] != len(netlist.inputs):
-        raise ValueError(
+        raise SimulationError(
             f"expected {len(netlist.inputs)} inputs, got {batch.shape[1]}"
         )
     return get_plan(netlist).execute(batch)
@@ -87,7 +90,7 @@ def simulate_interpreted(netlist: Netlist, inputs) -> np.ndarray:
     """
     batch = _as_batch(inputs)
     if batch.shape[1] != len(netlist.inputs):
-        raise ValueError(
+        raise SimulationError(
             f"expected {len(netlist.inputs)} inputs, got {batch.shape[1]}"
         )
     n_batch = batch.shape[0]
@@ -150,9 +153,9 @@ def _as_payload_batch(netlist: Netlist, tags, payloads):
     if pay_batch.ndim == 1:
         pay_batch = pay_batch[np.newaxis, :]
     if pay_batch.shape != tag_batch.shape:
-        raise ValueError("tags and payloads must have the same shape")
+        raise SimulationError("tags and payloads must have the same shape")
     if tag_batch.shape[1] != len(netlist.inputs):
-        raise ValueError(
+        raise SimulationError(
             f"expected {len(netlist.inputs)} inputs, got {tag_batch.shape[1]}"
         )
     return tag_batch, pay_batch
@@ -191,9 +194,9 @@ def simulate_payload_interpreted(
     if pay_batch.ndim == 1:
         pay_batch = pay_batch[np.newaxis, :]
     if pay_batch.shape != tag_batch.shape:
-        raise ValueError("tags and payloads must have the same shape")
+        raise SimulationError("tags and payloads must have the same shape")
     if tag_batch.shape[1] != len(netlist.inputs):
-        raise ValueError(
+        raise SimulationError(
             f"expected {len(netlist.inputs)} inputs, got {tag_batch.shape[1]}"
         )
     n_batch = tag_batch.shape[0]
@@ -285,9 +288,9 @@ def exhaustive_inputs(n: int) -> np.ndarray:
     so iteration order is lexicographic.
     """
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise SimulationError("n must be non-negative")
     if n > 24:
-        raise ValueError(f"refusing to materialize 2**{n} vectors")
+        raise SimulationError(f"refusing to materialize 2**{n} vectors")
     count = 1 << n
     idx = np.arange(count, dtype=np.uint32)
     shifts = np.arange(n - 1, -1, -1, dtype=np.uint32)

@@ -12,7 +12,8 @@ and the shared substructures (balanced merging block, patch-up network,
 k-way machinery).
 """
 
-from .api import clear_cache, make_sorter, next_power_of_two, sort_bits
+from .api import (cache_info, clear_cache, make_sorter,
+                  next_power_of_two, set_cache_limit, sort_bits)
 from .balanced_merge import (
     balanced_merge_behavioral,
     balanced_merging_block,
@@ -79,6 +80,7 @@ __all__ = [
     "build_mux_merger_sorter",
     "build_patchup_network",
     "build_prefix_sorter",
+    "cache_info",
     "classify_bisorted",
     "clear_cache",
     "count_A",
@@ -108,6 +110,7 @@ __all__ = [
     "random_clean_k_sorted",
     "random_k_sorted",
     "random_sorted",
+    "set_cache_limit",
     "shuffle_concat",
     "sort_bits",
     "sorted_sequence",

@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..circuits.builder import CircuitBuilder
+from ..errors import BuildError, SimulationError
 from ..circuits.netlist import Netlist
 from ..circuits.simulate import simulate, simulate_payload
 from ..components.demux import group_demultiplexer
@@ -39,7 +40,7 @@ from .mux_merger import build_mux_merger_sorter
 
 def _lg(n: int) -> int:
     if n < 1 or n & (n - 1):
-        raise ValueError(f"expected a power of two, got {n}")
+        raise BuildError(f"expected a power of two, got {n}")
     return n.bit_length() - 1
 
 
@@ -111,12 +112,14 @@ class FishSorter:
         self, n: int, k: Optional[int] = None, group_sorter: str = "mux_merger"
     ) -> None:
         if n < 4 or n & (n - 1):
-            raise ValueError(f"n must be a power of two >= 4, got {n}")
+            raise BuildError(f"n must be a power of two >= 4, got {n}")
         self.n = n
         self.k = default_k(n) if k is None else k
         k = self.k
         if k < 2 or k & (k - 1) or n % k or n // k < 2:
-            raise ValueError(f"k must be a power of two with 2 <= k <= n/2, got {k}")
+            raise BuildError(
+                f"k must be a power of two with 2 <= k <= n/2, got {k}"
+            )
         self.group = n // k
         self.lg_k = _lg(k)
         self.group_sorter_kind = group_sorter
@@ -131,7 +134,7 @@ class FishSorter:
 
             self.group_sorter = build_odd_even_merge_sorter(self.group)
         else:
-            raise ValueError(f"unknown group sorter {group_sorter!r}")
+            raise BuildError(f"unknown group sorter {group_sorter!r}")
         # (n, n/k)-multiplexer front end
         b = CircuitBuilder(f"fish-mux-{n}")
         wires = b.add_inputs(n)
@@ -158,7 +161,7 @@ class FishSorter:
         the mux/demux/merger stages unchanged.
         """
         if len(netlist.inputs) != len(self.group_sorter.inputs):
-            raise ValueError(
+            raise BuildError(
                 f"group sorter needs {len(self.group_sorter.inputs)} inputs, "
                 f"got {len(netlist.inputs)}"
             )
@@ -237,7 +240,7 @@ class FishSorter:
 
         bits = np.asarray(bits, dtype=np.uint8).ravel()
         if bits.size != self.n:
-            raise ValueError(f"expected {self.n} bits, got {bits.size}")
+            raise SimulationError(f"expected {self.n} bits, got {bits.size}")
         n, k, g = self.n, self.k, self.group
         groups = [
             bits[i * g : (i + 1) * g].tolist() for i in range(k)
@@ -272,11 +275,11 @@ class FishSorter:
         """
         bits = np.asarray(bits, dtype=np.uint8).ravel()
         if bits.size != self.n:
-            raise ValueError(f"expected {self.n} bits, got {bits.size}")
+            raise SimulationError(f"expected {self.n} bits, got {bits.size}")
         if payloads is not None:
             payloads = np.asarray(payloads, dtype=np.int64).ravel()
             if payloads.size != self.n:
-                raise ValueError("payloads must match the input length")
+                raise SimulationError("payloads must match the input length")
         n, k, g = self.n, self.k, self.group
 
         # ---- phase 1: time-multiplex groups through the small sorter.

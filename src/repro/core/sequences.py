@@ -21,6 +21,8 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from ..errors import BuildError, SimulationError
+
 _A_PATTERN = re.compile(r"^((00)*|(11)*)((01)*|(10)*)((00)*|(11)*)$")
 
 
@@ -28,9 +30,11 @@ def as_bits(seq) -> np.ndarray:
     """Normalize to a 1-D uint8 array of 0/1 values."""
     arr = np.asarray(seq, dtype=np.uint8)
     if arr.ndim != 1:
-        raise ValueError(f"expected a 1-D sequence, got shape {arr.shape}")
+        raise SimulationError(
+            f"expected a 1-D sequence, got shape {arr.shape}"
+        )
     if arr.size and arr.max() > 1:
-        raise ValueError("sequence contains non-binary values")
+        raise SimulationError("sequence contains non-binary values")
     return arr
 
 
@@ -50,7 +54,7 @@ def is_bisorted(seq) -> bool:
     """Definition 3: each of the two halves is sorted."""
     bits = as_bits(seq)
     if bits.size % 2:
-        raise ValueError("bisorted is defined for even lengths")
+        raise BuildError("bisorted is defined for even lengths")
     h = bits.size // 2
     return is_sorted_binary(bits[:h]) and is_sorted_binary(bits[h:])
 
@@ -59,7 +63,7 @@ def is_k_sorted(seq, k: int) -> bool:
     """Definition 4: k equal-size sorted subsequences."""
     bits = as_bits(seq)
     if k <= 0 or bits.size % k:
-        raise ValueError(f"cannot split length {bits.size} into {k} blocks")
+        raise BuildError(f"cannot split length {bits.size} into {k} blocks")
     m = bits.size // k
     return all(is_sorted_binary(bits[i * m : (i + 1) * m]) for i in range(k))
 
@@ -68,7 +72,7 @@ def is_clean_k_sorted(seq, k: int) -> bool:
     """Definition 5: k equal-size *clean* subsequences."""
     bits = as_bits(seq)
     if k <= 0 or bits.size % k:
-        raise ValueError(f"cannot split length {bits.size} into {k} blocks")
+        raise BuildError(f"cannot split length {bits.size} into {k} blocks")
     m = bits.size // k
     return all(is_clean(bits[i * m : (i + 1) * m]) for i in range(k))
 
@@ -91,7 +95,7 @@ def enumerate_A(n: int) -> List[np.ndarray]:
     ``2**n`` strings, so it stays cheap for the sizes tests use.
     """
     if n % 2:
-        raise ValueError("A_n is defined for even n")
+        raise BuildError("A_n is defined for even n")
     seen = set()
     out: List[np.ndarray] = []
     for a in range(0, n + 1, 2):
@@ -113,7 +117,7 @@ def enumerate_A(n: int) -> List[np.ndarray]:
 def enumerate_bisorted(n: int) -> Iterator[np.ndarray]:
     """All bisorted sequences of length ``n`` (Definition 3's space)."""
     if n % 2:
-        raise ValueError("bisorted needs even n")
+        raise BuildError("bisorted needs even n")
     h = n // 2
     for zu in range(h + 1):
         for zl in range(h + 1):
@@ -128,7 +132,7 @@ def enumerate_k_sorted(n: int, k: int) -> Iterator[np.ndarray]:
     There are ``(n/k + 1) ** k`` of them — use for small n, k.
     """
     if k <= 0 or n % k:
-        raise ValueError(f"cannot split length {n} into {k} blocks")
+        raise BuildError(f"cannot split length {n} into {k} blocks")
     m = n // k
     import itertools
 
@@ -139,7 +143,7 @@ def enumerate_k_sorted(n: int, k: int) -> Iterator[np.ndarray]:
 def enumerate_clean_k_sorted(n: int, k: int) -> Iterator[np.ndarray]:
     """All clean k-sorted sequences of length ``n`` (Definition 5)."""
     if k <= 0 or n % k:
-        raise ValueError(f"cannot split length {n} into {k} blocks")
+        raise BuildError(f"cannot split length {n} into {k} blocks")
     m = n // k
     import itertools
 
@@ -156,7 +160,7 @@ def count_A(n: int) -> int:
     the thousands.  Cross-checked against :func:`enumerate_A` in tests.
     """
     if n < 0 or n % 2:
-        raise ValueError("A_n is defined for even n >= 0")
+        raise BuildError("A_n is defined for even n >= 0")
     # NFA: for each branch (pa, pb, pc) in {00,11} x {01,10} x {00,11},
     # states track (part, offset) with epsilon moves between parts.
     # We enumerate branch NFAs jointly via a frozenset-of-states DP.
@@ -215,7 +219,7 @@ def count_A(n: int) -> int:
 def sorted_sequence(n: int, ones: int) -> np.ndarray:
     """The ascending binary sequence of length ``n`` with ``ones`` 1's."""
     if not 0 <= ones <= n:
-        raise ValueError(f"ones={ones} out of range for n={n}")
+        raise BuildError(f"ones={ones} out of range for n={n}")
     out = np.zeros(n, dtype=np.uint8)
     out[n - ones :] = 1
     return out
@@ -229,7 +233,7 @@ def random_sorted(n: int, rng: np.random.Generator) -> np.ndarray:
 def random_bisorted(n: int, rng: np.random.Generator) -> np.ndarray:
     """A random bisorted sequence of length ``n``."""
     if n % 2:
-        raise ValueError("bisorted needs even n")
+        raise BuildError("bisorted needs even n")
     h = n // 2
     return np.concatenate([random_sorted(h, rng), random_sorted(h, rng)])
 
@@ -237,7 +241,7 @@ def random_bisorted(n: int, rng: np.random.Generator) -> np.ndarray:
 def random_k_sorted(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
     """A random k-sorted sequence of length ``n``."""
     if k <= 0 or n % k:
-        raise ValueError(f"cannot split length {n} into {k} blocks")
+        raise BuildError(f"cannot split length {n} into {k} blocks")
     m = n // k
     return np.concatenate([random_sorted(m, rng) for _ in range(k)])
 
@@ -245,7 +249,7 @@ def random_k_sorted(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
 def random_clean_k_sorted(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
     """A random clean k-sorted sequence of length ``n``."""
     if k <= 0 or n % k:
-        raise ValueError(f"cannot split length {n} into {k} blocks")
+        raise BuildError(f"cannot split length {n} into {k} blocks")
     m = n // k
     blocks = [np.full(m, rng.integers(0, 2), dtype=np.uint8) for _ in range(k)]
     return np.concatenate(blocks)
@@ -259,7 +263,7 @@ def shuffle_concat(upper, lower) -> np.ndarray:
     """
     xu, xl = as_bits(upper), as_bits(lower)
     if xu.size != xl.size:
-        raise ValueError("halves must have equal length")
+        raise BuildError("halves must have equal length")
     out = np.empty(xu.size * 2, dtype=np.uint8)
     out[0::2] = xu
     out[1::2] = xl

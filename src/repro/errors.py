@@ -1,0 +1,81 @@
+"""Structured exception hierarchy for the whole reproduction.
+
+Every error the package raises deliberately derives from
+:class:`ReproError`, so callers embedding the sorters in a larger system
+can catch one base class at the service boundary.  The two historical
+families — bad construction parameters and bad simulation inputs — kept
+raising plain :class:`ValueError` for years of tests and downstream
+code, so :class:`BuildError` and :class:`SimulationError` *also* inherit
+from :class:`ValueError`: ``except ValueError`` keeps working everywhere
+while new code can discriminate precisely.
+
+The two runtime-supervision errors are new with :mod:`repro.runtime`:
+
+* :class:`CheckerAlarm` — a gate-level concurrent checker
+  (:mod:`repro.circuits.checkers`) raised an alarm wire during a
+  supervised sort: the hardware *detected* its own corruption online.
+* :class:`DeadlineExceeded` — a supervised call (or a guarded campaign
+  item, see :func:`repro.runtime.guard.run_guarded`) ran past its time
+  budget.  Inherits :class:`TimeoutError` so generic timeout handling
+  composes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = [
+    "BuildError",
+    "CheckerAlarm",
+    "DeadlineExceeded",
+    "ReproError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error raised by :mod:`repro`."""
+
+
+class BuildError(ReproError, ValueError):
+    """A network/netlist/sequence construction was asked for impossible
+    or inconsistent parameters (bad ``n``, unknown network name, invalid
+    block split, ...).  Subclasses :class:`ValueError` for backwards
+    compatibility."""
+
+
+class SimulationError(ReproError, ValueError):
+    """A simulator was handed inputs it cannot evaluate (wrong arity,
+    non-binary values, mismatched payload shapes, ...).  Subclasses
+    :class:`ValueError` for backwards compatibility."""
+
+
+class CheckerAlarm(ReproError):
+    """One or more concurrent error-detection alarms fired.
+
+    ``alarms`` names the checkers that fired (e.g. ``("sortedness",)``),
+    ``rows`` optionally carries the batch rows on which they fired.
+    """
+
+    def __init__(
+        self,
+        alarms: Sequence[str],
+        rows: Optional[Sequence[int]] = None,
+        message: Optional[str] = None,
+    ) -> None:
+        self.alarms = tuple(alarms)
+        self.rows = None if rows is None else tuple(int(r) for r in rows)
+        if message is None:
+            message = f"checker alarm(s) fired: {', '.join(self.alarms) or '?'}"
+            if self.rows is not None:
+                message += f" on {len(self.rows)} row(s)"
+        super().__init__(message)
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A supervised or guarded operation exceeded its time budget."""
+
+    def __init__(self, budget_s: float, what: str = "operation") -> None:
+        self.budget_s = float(budget_s)
+        self.what = what
+        super().__init__(f"{what} exceeded deadline of {budget_s:.6g}s")

@@ -1,0 +1,101 @@
+"""Deadline and retry primitives for supervised execution.
+
+Two small building blocks shared by the :class:`~repro.runtime.Supervisor`
+and the campaign tools (``tools/fault_campaign.py``, ``tools/sweep.py``):
+
+* :func:`time_limit` — a context manager enforcing a wall-clock budget
+  via ``signal.setitimer`` and raising
+  :class:`~repro.errors.DeadlineExceeded` when it expires.  POSIX signal
+  delivery only works on the main thread; elsewhere (or on platforms
+  without ``setitimer``) the guard degrades to a no-op rather than
+  failing — supervision is best-effort by design, never a new crash
+  source.
+* :func:`run_guarded` — call a function under a per-attempt deadline
+  with bounded retry and exponential backoff.  This is what lets one
+  pathological ``(network, n, fault)`` item stall for at most
+  ``timeout_s * (retries + 1)`` instead of hanging a whole campaign.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Optional, Tuple, Type
+
+from ..errors import DeadlineExceeded
+
+__all__ = ["time_limit", "run_guarded", "deadline_supported"]
+
+
+def deadline_supported() -> bool:
+    """True when :func:`time_limit` can actually preempt (POSIX itimer
+    available and we are on the main thread)."""
+    return (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def time_limit(budget_s: Optional[float], what: str = "operation"):
+    """Raise :class:`DeadlineExceeded` if the body runs past ``budget_s``.
+
+    ``budget_s`` of ``None`` (or <= 0) disables the guard.  Off the main
+    thread, or without ``signal.setitimer``, the guard is a no-op: the
+    caller still gets the result, just without preemption.
+    """
+    if budget_s is None or budget_s <= 0 or not deadline_supported():
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise DeadlineExceeded(budget_s, what)
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, budget_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_guarded(
+    fn: Callable,
+    *args,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.05,
+    backoff_factor: float = 2.0,
+    what: Optional[str] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    **kwargs,
+):
+    """Run ``fn(*args, **kwargs)`` under a per-attempt deadline, retrying
+    failures with exponential backoff.
+
+    Each attempt gets its own ``timeout_s`` budget (so total stall is
+    bounded by ``timeout_s * (retries + 1)`` plus backoff).  Exceptions
+    matching ``retry_on`` are retried up to ``retries`` times; the last
+    failure is re-raised unchanged for the caller to classify —
+    :class:`DeadlineExceeded` subclasses :class:`TimeoutError`, so
+    timeouts are retried by the default ``retry_on`` and still
+    distinguishable afterwards.
+    """
+    label = what or getattr(fn, "__name__", "operation")
+    delay = backoff_s
+    attempt = 0
+    while True:
+        try:
+            with time_limit(timeout_s, label):
+                return fn(*args, **kwargs)
+        except retry_on:
+            attempt += 1
+            if attempt > retries:
+                raise
+            if delay > 0:
+                sleep(delay)
+            delay *= backoff_factor

@@ -1,0 +1,357 @@
+"""Supervised sort execution: detect, retry, degrade, recover.
+
+The :class:`Supervisor` is the online counterpart of PR 2's offline
+fault campaigns.  Every sort runs on **self-checking hardware** (the
+network with :func:`repro.circuits.checkers.with_checkers` attached, or
+the fish sorter paired with a boundary
+:class:`~repro.circuits.checkers.OutputChecker`) under a wall-clock
+deadline, and the result must clear two independent gates before being
+returned:
+
+1. the gate-level alarm wires (sortedness / ones-count / control
+   duplicate-and-compare) must all be quiet, and
+2. a behavioral invariant check in software — output monotone and its
+   population count equal to the *caller-held* input's.  This second
+   gate closes the checkers' fault-secure boundary: a stuck primary
+   input fools the hardware checker (which observes the faulted bus) but
+   not the supervisor, which still holds the pre-corruption input.
+
+Any alarm, invariant failure, engine exception, or deadline triggers
+the :class:`RecoveryPolicy`: bounded retry with exponential backoff at
+the current tier, then graceful degradation down the execution ladder —
+compiled engine → element-at-a-time interpreter oracle → behavioral
+``np.sort`` — so a supervised call returns the *correct* answer even
+when the circuit itself is faulty (the acceptance criterion of the
+supervised fault campaigns).  Per-call statistics (detections, alarm
+counts, tier usage, retries, latencies) accumulate in
+:class:`SupervisorStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.checkers import CheckedNetlist, OutputChecker, build_output_checker, with_checkers
+from ..circuits.simulate import simulate, simulate_interpreted
+from ..errors import BuildError, CheckerAlarm, DeadlineExceeded, ReproError, SimulationError
+from .guard import time_limit
+
+__all__ = [
+    "CallReport",
+    "RecoveryPolicy",
+    "Supervisor",
+    "SupervisorStats",
+    "get_supervisor",
+    "reset_supervisors",
+    "supervisor_stats",
+]
+
+#: Execution tiers, fastest first.  ``interpreter`` is skipped for the
+#: fish network (its phases already run through both engines).
+TIERS = ("engine", "interpreter", "behavioral")
+
+#: Alarm pseudo-name for the supervisor's software invariant gate.
+INVARIANT = "invariant"
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """What the supervisor does when a tier fails.
+
+    ``max_retries`` re-runs of a failing tier (exponential backoff from
+    ``backoff_s`` by ``backoff_factor``) before degrading to the next
+    tier; ``deadline_s`` is the per-attempt wall-clock budget (``None``
+    disables it); ``control_checker`` additionally attaches the
+    duplicate-and-compare steering checker to combinational hardware.
+    """
+
+    max_retries: int = 1
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    deadline_s: Optional[float] = None
+    control_checker: bool = False
+    tiers: Tuple[str, ...] = TIERS
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise BuildError("max_retries must be >= 0")
+        unknown = set(self.tiers) - set(TIERS)
+        if unknown or not self.tiers:
+            raise BuildError(f"tiers must be a non-empty subset of {TIERS}")
+
+
+@dataclass
+class CallReport:
+    """What happened during one supervised sort."""
+
+    tier: str  #: tier that produced the accepted result
+    attempts: int  #: total attempts across all tiers
+    retries: int  #: attempts beyond the first per tier
+    detections: Tuple[str, ...]  #: alarm names observed along the way
+    fell_back: bool  #: resolved below the first tier
+    deadline_hits: int  #: attempts killed by the deadline
+    latency_s: float  #: wall-clock of the whole call
+
+
+@dataclass
+class SupervisorStats:
+    """Aggregate counters across supervised calls (see :meth:`snapshot`)."""
+
+    calls: int = 0
+    detected_calls: int = 0
+    fallback_calls: int = 0
+    retries: int = 0
+    deadline_hits: int = 0
+    alarms: Dict[str, int] = field(default_factory=dict)
+    tier_used: Dict[str, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+
+    _LATENCY_WINDOW = 1024
+
+    def record(self, report: CallReport) -> None:
+        self.calls += 1
+        if report.detections:
+            self.detected_calls += 1
+        if report.fell_back:
+            self.fallback_calls += 1
+        self.retries += report.retries
+        self.deadline_hits += report.deadline_hits
+        for name in report.detections:
+            self.alarms[name] = self.alarms.get(name, 0) + 1
+        self.tier_used[report.tier] = self.tier_used.get(report.tier, 0) + 1
+        self.latencies_s.append(report.latency_s)
+        if len(self.latencies_s) > self._LATENCY_WINDOW:
+            del self.latencies_s[: -self._LATENCY_WINDOW]
+
+    def snapshot(self) -> Dict[str, object]:
+        lat = self.latencies_s
+        return {
+            "calls": self.calls,
+            "detected_calls": self.detected_calls,
+            "fallback_calls": self.fallback_calls,
+            "retries": self.retries,
+            "deadline_hits": self.deadline_hits,
+            "alarms": dict(self.alarms),
+            "tier_used": dict(self.tier_used),
+            "mean_latency_s": float(np.mean(lat)) if lat else 0.0,
+            "max_latency_s": float(np.max(lat)) if lat else 0.0,
+        }
+
+
+def _monotone(bits: np.ndarray) -> bool:
+    return bool((np.diff(bits.astype(np.int8)) >= 0).all())
+
+
+class Supervisor:
+    """Run sorts on self-checking hardware with detection and recovery.
+
+    ``network`` is one of ``core.api.NETWORKS``.  ``hardware`` optionally
+    overrides how the (checked) circuit for a given width is obtained —
+    a callable ``n -> CheckedNetlist`` for the combinational networks,
+    or ``n -> (FishSorter, OutputChecker)`` for ``"fish"``.  The fault
+    campaigns use this hook to hand the supervisor deliberately *broken*
+    hardware and assert that every call still returns a correct, sorted
+    result (via detection + fallback).
+    """
+
+    def __init__(
+        self,
+        network: str = "mux_merger",
+        policy: Optional[RecoveryPolicy] = None,
+        hardware: Optional[Callable[[int], object]] = None,
+    ) -> None:
+        from ..core.api import NETWORKS
+
+        if network not in NETWORKS:
+            raise BuildError(
+                f"unknown network {network!r}; choose one of {NETWORKS}"
+            )
+        self.network = network
+        self.policy = policy or RecoveryPolicy()
+        self.stats = SupervisorStats()
+        self._hardware = hardware
+        self._cache: Dict[int, object] = {}
+        self._lock = threading.RLock()
+
+    # -- hardware -------------------------------------------------------------
+
+    def _get_hardware(self, n: int):
+        with self._lock:
+            hw = self._cache.get(n)
+            if hw is None:
+                hw = (
+                    self._hardware(n)
+                    if self._hardware is not None
+                    else self._build_hardware(n)
+                )
+                self._cache[n] = hw
+            return hw
+
+    def _build_hardware(self, n: int):
+        from ..core.api import make_sorter
+
+        if self.network == "fish":
+            return make_sorter(n, "fish"), build_output_checker(n)
+        plain = make_sorter(n, self.network)
+        return with_checkers(
+            plain,
+            sortedness=True,
+            count=True,
+            control=self.policy.control_checker,
+        )
+
+    def reset(self) -> None:
+        """Drop cached hardware and statistics."""
+        with self._lock:
+            self._cache.clear()
+            self.stats = SupervisorStats()
+
+    # -- invariants -----------------------------------------------------------
+
+    def _accept(self, inputs: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """Software gate: output must be monotone with the same ones
+        count as the caller-held input (closes the checkers'
+        fault-secure boundary at the primary inputs)."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != inputs.shape:
+            raise CheckerAlarm((INVARIANT,), message="output shape mismatch")
+        if not _monotone(data) or int(data.sum()) != int(inputs.sum()):
+            raise CheckerAlarm((INVARIANT,))
+        return data
+
+    # -- tiers ----------------------------------------------------------------
+
+    def _run_tier(
+        self, tier: str, padded: np.ndarray, pipelined: bool
+    ) -> np.ndarray:
+        if tier == "behavioral":
+            return self._accept(padded, np.sort(padded))
+        hw = self._get_hardware(padded.size)
+        if self.network == "fish":
+            if tier == "interpreter":
+                # The fish phases already execute through both engines;
+                # there is no separate interpreter ladder rung.
+                raise SimulationError("fish has no interpreter tier")
+            sorter, checker = hw
+            out, _report = sorter.sort(padded, pipelined=pipelined)
+            out = np.asarray(out, dtype=np.uint8)
+            fired = checker.fired(padded[None, :], out[None, :])
+            if fired:
+                raise CheckerAlarm(fired)
+            return self._accept(padded, out)
+        checked: CheckedNetlist = hw
+        run = simulate if tier == "engine" else simulate_interpreted
+        out = run(checked.netlist, padded[None, :])
+        data = checked.check(out)[0]  # raises CheckerAlarm on any alarm
+        return self._accept(padded, data)
+
+    # -- public API -----------------------------------------------------------
+
+    def sort(self, bits, pipelined: bool = False) -> np.ndarray:
+        """Sort like :func:`repro.core.api.sort_bits`, supervised."""
+        out, _report = self.sort_verbose(bits, pipelined=pipelined)
+        return out
+
+    def sort_verbose(
+        self, bits, pipelined: bool = False
+    ) -> Tuple[np.ndarray, CallReport]:
+        """Supervised sort returning the :class:`CallReport` as well."""
+        from ..core.api import next_power_of_two
+
+        arr = np.asarray(bits, dtype=np.uint8).ravel()
+        if arr.size and arr.max() > 1:
+            raise SimulationError("sort_bits expects a 0/1 sequence")
+        started = time.perf_counter()
+        if arr.size <= 1:
+            report = CallReport("behavioral", 1, 0, (), False, 0,
+                                time.perf_counter() - started)
+            self.stats.record(report)
+            return arr.copy(), report
+        n = next_power_of_two(max(arr.size, 4 if self.network == "fish" else 2))
+        padded = np.concatenate([arr, np.ones(n - arr.size, dtype=np.uint8)])
+        data, report = self._supervise(padded, pipelined, started)
+        self.stats.record(report)
+        return data[: arr.size], report
+
+    def _supervise(
+        self, padded: np.ndarray, pipelined: bool, started: float
+    ) -> Tuple[np.ndarray, CallReport]:
+        policy = self.policy
+        detections: List[str] = []
+        attempts = retries = deadline_hits = 0
+        last_error: Optional[BaseException] = None
+        tiers = [
+            t for t in policy.tiers
+            if not (self.network == "fish" and t == "interpreter")
+        ]
+        for tier_index, tier in enumerate(tiers):
+            delay = policy.backoff_s
+            for attempt in range(policy.max_retries + 1):
+                attempts += 1
+                if attempt:
+                    retries += 1
+                    if delay > 0:
+                        time.sleep(delay)
+                    delay *= policy.backoff_factor
+                try:
+                    with time_limit(policy.deadline_s, f"{tier} sort"):
+                        data = self._run_tier(tier, padded, pipelined)
+                    report = CallReport(
+                        tier=tier,
+                        attempts=attempts,
+                        retries=retries,
+                        detections=tuple(dict.fromkeys(detections)),
+                        fell_back=tier_index > 0,
+                        deadline_hits=deadline_hits,
+                        latency_s=time.perf_counter() - started,
+                    )
+                    return data, report
+                except CheckerAlarm as exc:
+                    detections.extend(exc.alarms)
+                    last_error = exc
+                except DeadlineExceeded as exc:
+                    deadline_hits += 1
+                    last_error = exc
+                except (SimulationError, RuntimeError) as exc:
+                    last_error = exc
+        # Every tier (including behavioral) failed — propagate the last
+        # cause wrapped in the structured hierarchy.
+        if isinstance(last_error, ReproError):
+            raise last_error
+        raise SimulationError(f"supervised sort failed: {last_error!r}")
+
+
+# ---------------------------------------------------------------------------
+# Shared per-network supervisors (used by core.api.sort_bits)
+# ---------------------------------------------------------------------------
+
+_SUPERVISORS: Dict[str, Supervisor] = {}
+_SUPERVISORS_LOCK = threading.RLock()
+
+
+def get_supervisor(network: str = "mux_merger") -> Supervisor:
+    """The process-wide shared :class:`Supervisor` for ``network``
+    (created on first use; backs ``sort_bits(..., supervised=True)``)."""
+    with _SUPERVISORS_LOCK:
+        sup = _SUPERVISORS.get(network)
+        if sup is None:
+            sup = Supervisor(network)
+            _SUPERVISORS[network] = sup
+        return sup
+
+
+def reset_supervisors() -> None:
+    """Drop all shared supervisors (tests use this for isolation)."""
+    with _SUPERVISORS_LOCK:
+        _SUPERVISORS.clear()
+
+
+def supervisor_stats() -> Dict[str, Dict[str, object]]:
+    """Snapshot of every shared supervisor's statistics, by network."""
+    with _SUPERVISORS_LOCK:
+        return {k: s.stats.snapshot() for k, s in _SUPERVISORS.items()}

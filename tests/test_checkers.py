@@ -1,0 +1,261 @@
+"""Tests for the concurrent error-detection layer (repro.circuits.checkers).
+
+Three guarantee families:
+
+1. **Soundness** — on healthy hardware no alarm ever fires (exhaustively
+   for n <= 16), and the data outputs are untouched by the transform.
+2. **Overhead** — measured cost/depth of every checker variant stays
+   within (or exactly equals, where exact) the closed-form bounds for
+   n = 4..64, so self-checking networks remain in the paper's cost model.
+3. **Detection** — the sortedness alarm fires iff the observed output is
+   non-monotone (hypothesis property), and every single fault from the
+   PR 2 steering universe is masked or alarmed on checked hardware, with
+   primary-input faults the only (documented) exception.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    ControlInvert,
+    StuckAt,
+    apply_fault,
+    control_wires,
+    enumerate_faults,
+    exhaustive_inputs,
+    simulate,
+)
+from repro.circuits.checkers import (
+    CheckedNetlist,
+    build_output_checker,
+    control_checker_overhead,
+    control_cone,
+    count_checker_cost_bound,
+    count_checker_depth_bound,
+    sortedness_checker_cost,
+    sortedness_checker_depth,
+    with_checkers,
+)
+from repro.core import build_mux_merger_sorter, build_prefix_sorter
+from repro.errors import BuildError, CheckerAlarm
+
+BUILDERS = {"prefix": build_prefix_sorter, "mux_merger": build_mux_merger_sorter}
+
+# Shared across the module: the property tests draw many examples
+# against the same compiled (checked) netlists.
+_NETS = {
+    (name, n): BUILDERS[name](n) for name in BUILDERS for n in (4, 8, 16)
+}
+_CHECKED = {
+    key: with_checkers(net, sortedness=True, count=True, control=True)
+    for key, net in _NETS.items()
+}
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("key", sorted(_NETS))
+    def test_no_alarm_on_healthy_hardware(self, key):
+        name, n = key
+        checked = _CHECKED[key]
+        xs = exhaustive_inputs(n)
+        out = simulate(checked.netlist, xs)
+        data, alarms = checked.split(out)
+        assert not alarms.any(), f"false alarm on healthy {name} n={n}"
+        assert np.array_equal(data, np.sort(xs, axis=1))
+        # check() passes the whole batch through untouched
+        assert np.array_equal(checked.check(out), data)
+
+    @pytest.mark.parametrize("key", sorted(_NETS))
+    def test_source_netlist_untouched(self, key):
+        net = _NETS[key]
+        n_wires, n_elements = net.n_wires, len(net.elements)
+        with_checkers(net, sortedness=True, count=True, control=True)
+        assert net.n_wires == n_wires
+        assert len(net.elements) == n_elements
+
+    def test_wire_ids_stable_under_transform(self):
+        # Original outputs/inputs keep their ids in the checked netlist:
+        # a fault enumerated on the plain net applies verbatim.
+        net = _NETS[("prefix", 8)]
+        checked = _CHECKED[("prefix", 8)]
+        assert checked.netlist.inputs == net.inputs
+        assert list(checked.netlist.outputs[: len(net.outputs)]) == list(net.outputs)
+        assert checked.netlist.elements[: len(net.elements)] == list(net.elements)
+
+    def test_requires_at_least_one_checker(self):
+        with pytest.raises(BuildError):
+            with_checkers(_NETS[("prefix", 4)], sortedness=False, count=False,
+                          control=False)
+
+
+class TestOverheadBounds:
+    NS = (4, 8, 16, 32, 64)
+
+    @pytest.mark.parametrize("n", NS)
+    @pytest.mark.parametrize("builder", sorted(BUILDERS))
+    def test_sortedness_exact(self, builder, n):
+        net = BUILDERS[builder](n)
+        c = with_checkers(net, sortedness=True, count=False, control=False)
+        assert c.overhead_cost == sortedness_checker_cost(n)
+        assert c.overhead_depth <= sortedness_checker_depth(n)
+
+    @pytest.mark.parametrize("n", NS)
+    @pytest.mark.parametrize("adder", ["prefix", "ripple"])
+    def test_count_bound(self, n, adder):
+        net = build_mux_merger_sorter(n)
+        c = with_checkers(net, sortedness=False, count=True, control=False,
+                          adder=adder)
+        assert c.overhead_cost <= count_checker_cost_bound(n, adder)
+        assert c.overhead_depth <= count_checker_depth_bound(n, adder)
+
+    @pytest.mark.parametrize("n", NS)
+    @pytest.mark.parametrize("builder", sorted(BUILDERS))
+    def test_control_exact(self, builder, n):
+        net = BUILDERS[builder](n)
+        c = with_checkers(net, sortedness=False, count=False, control=True)
+        assert c.overhead_cost == control_checker_overhead(net)
+
+    @pytest.mark.parametrize("n", NS)
+    def test_overhead_stays_linearithmic(self, n):
+        # The full checker suite must not change the asymptotic class of
+        # the paper's networks: sortedness+count overhead is O(n lg lg n)
+        # with prefix adders — comfortably under 6 n lg n for these n.
+        net = build_mux_merger_sorter(n)
+        c = with_checkers(net, sortedness=True, count=True, control=False)
+        lg = max((n - 1).bit_length(), 1)
+        assert c.overhead_cost <= 6 * n * lg
+
+    def test_closed_forms_monotone(self):
+        costs = [count_checker_cost_bound(1 << p) for p in range(2, 8)]
+        assert costs == sorted(costs)
+        assert sortedness_checker_cost(2) == 2  # NOT + AND, no tree
+
+
+class TestSortednessProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=8, max_size=8),
+        data=st.data(),
+    )
+    def test_alarm_iff_non_monotone(self, bits, data):
+        """The sortedness alarm fires iff the observed output is not of
+        the form 0...01...1 — forced by stuck-at faults pinning the
+        sorter's outputs to an arbitrary chosen pattern."""
+        net = _NETS[("prefix", 8)]
+        checked = with_checkers(net, sortedness=True, count=False, control=False)
+        mutant = checked.netlist
+        for wire, value in zip(net.outputs, bits):
+            mutant = apply_fault(mutant, StuckAt(wire, value))
+        row = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=8, max_size=8)),
+            dtype=np.uint8,
+        )
+        out = simulate(mutant, row[None, :])
+        observed, alarms = checked.split(out)
+        assert observed[0].tolist() == bits
+        non_monotone = any(a > b for a, b in zip(bits, bits[1:]))
+        assert bool(alarms[0, 0]) == non_monotone
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=16))
+    def test_output_checker_matches_numpy(self, ys):
+        n = 8
+        ys = (ys + [0] * n)[:n]
+        checker = build_output_checker(n)
+        x = np.zeros(n, dtype=np.uint8)
+        x[: sum(ys)] = 1  # same popcount: isolate the sortedness alarm
+        fired = checker.fired(x[None, :], np.array(ys, dtype=np.uint8)[None, :])
+        assert ("sortedness" in fired) == any(
+            a > b for a, b in zip(ys, ys[1:])
+        )
+        assert "count" not in fired
+
+
+class TestDetection:
+    @pytest.mark.parametrize("key", [("prefix", 8), ("mux_merger", 8)])
+    def test_every_noninput_fault_masked_or_alarmed(self, key):
+        """The CED completeness guarantee on the PR 2 fault universe:
+        every stuck-at / control-inversion either never corrupts a data
+        output (masked) or raises an alarm on every corrupted row.
+        Primary-input faults are the documented fault-secure boundary."""
+        name, n = key
+        net = _NETS[key]
+        checked = _CHECKED[key]
+        xs = exhaustive_inputs(n)
+        expected = np.sort(xs, axis=1)
+        inputs = set(net.inputs)
+        for fault in enumerate_faults(net, kinds=("stuck", "control")):
+            if getattr(fault, "wire", -1) in inputs:
+                continue
+            out = simulate(apply_fault(checked.netlist, fault), xs)
+            data, alarms = checked.split(out)
+            wrong = (data != expected).any(axis=1)
+            alarmed = alarms.any(axis=1)
+            assert not (wrong & ~alarmed).any(), (name, fault.id)
+
+    def test_control_alarm_catches_masked_steering_corruption(self):
+        """duplicate-and-compare alarms on a steering inversion even on
+        rows where the data corruption happens to be masked."""
+        net = _NETS[("mux_merger", 8)]
+        checked = with_checkers(net, sortedness=False, count=False, control=True)
+        steering = sorted(set(control_wires(net)) - set(net.inputs))
+        assert steering, "mux merger must have element-driven steering"
+        xs = exhaustive_inputs(8)
+        mutant = apply_fault(checked.netlist, ControlInvert(steering[0]))
+        _, alarms = checked.split(simulate(mutant, xs))
+        assert alarms.any()
+
+    def test_check_raises_with_alarm_names_and_rows(self):
+        net = _NETS[("prefix", 8)]
+        checked = _CHECKED[("prefix", 8)]
+        steering = sorted(set(control_wires(net)) - set(net.inputs))
+        mutant = apply_fault(checked.netlist, ControlInvert(steering[0]))
+        out = simulate(mutant, exhaustive_inputs(8))
+        with pytest.raises(CheckerAlarm) as err:
+            checked.check(out)
+        assert set(err.value.alarms) <= {"sortedness", "count", "control"}
+        assert err.value.alarms and err.value.rows
+
+
+class TestControlCone:
+    def test_cone_covers_all_driven_steering(self):
+        net = _NETS[("prefix", 8)]
+        cone, compared = control_cone(net)
+        driven = {w for e in net.elements for w in e.outs}
+        assert set(compared) == set(control_wires(net)) & driven
+        # every compared wire is produced by some element in the cone
+        cone_outs = {w for i in cone for w in net.elements[i].outs}
+        assert set(compared) <= cone_outs
+
+    def test_overhead_zero_without_driven_steering(self):
+        from repro.circuits import CircuitBuilder
+
+        b = CircuitBuilder("plain")
+        xs = b.add_inputs(4)
+        ys = [b.not_(x) for x in xs]
+        net = b.build(outputs=ys)
+        assert control_checker_overhead(net) == 0
+
+
+class TestOutputChecker:
+    def test_shapes_and_alarm_names(self):
+        checker = build_output_checker(8)
+        assert checker.alarm_names == ("sortedness", "count")
+        assert len(checker.netlist.inputs) == 16
+
+    def test_fish_end_to_end(self):
+        from repro.core.fish_sorter import FishSorter
+
+        fs = FishSorter(8)
+        checker = build_output_checker(8)
+        rng = np.random.default_rng(7)
+        for _ in range(8):
+            bits = rng.integers(0, 2, 8).astype(np.uint8)
+            out, _ = fs.sort(bits)
+            assert checker.fired(bits[None, :], np.asarray(out)[None, :]) == ()
+
+    def test_rejects_mismatched_shapes(self):
+        checker = build_output_checker(8)
+        with pytest.raises(BuildError):
+            checker.alarms(np.zeros((1, 8)), np.zeros((1, 4)))

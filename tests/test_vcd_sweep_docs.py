@@ -133,6 +133,33 @@ class TestSweepTool:
         mod = _load("sweep")
         assert mod.main(["--min-lg", "9", "--max-lg", "5"]) == 2
 
+    def test_sweep_quarantines_slow_items(self, tmp_path):
+        """A tiny per-item budget quarantines items into a sibling file
+        (keeping the main record format intact) instead of failing."""
+        mod = _load("sweep")
+        out = tmp_path / "sweep.json"
+        assert mod.main([
+            "--min-lg", "4", "--max-lg", "5", "--out", str(out),
+            "--item-timeout", "0.0005", "--item-retries", "0",
+        ]) == 0
+        qpath = tmp_path / "sweep.json.quarantine.json"
+        records = json.loads(out.read_text())
+        if qpath.is_file():
+            quarantined = json.loads(qpath.read_text())
+            assert all("DeadlineExceeded" in q["error"] for q in quarantined)
+            assert len(records) + len(quarantined) == len(mod.NETWORKS) * 2
+        else:  # machine fast enough that nothing tripped the budget
+            assert len(records) == len(mod.NETWORKS) * 2
+
+    def test_sweep_normal_run_leaves_no_quarantine(self, tmp_path):
+        mod = _load("sweep")
+        out = tmp_path / "sweep.json"
+        assert mod.main([
+            "--min-lg", "4", "--max-lg", "4", "--out", str(out),
+            "--item-timeout", "120",
+        ]) == 0
+        assert not (tmp_path / "sweep.json.quarantine.json").is_file()
+
 
 class TestApiDocsTool:
     def test_generates_reference(self):

@@ -5,7 +5,8 @@ Usage::
 
     python tools/fault_campaign.py --n 16 \
         --networks prefix,mux_merger,fish \
-        --faults stuck,control,transient [--k 1] [--out FAULTS.json]
+        --faults stuck,control,transient [--k 1] [--out FAULTS.json] \
+        [--supervised] [--item-timeout 30] [--item-retries 1]
 
 For every requested network the campaign enumerates (and deterministically
 samples, when large) the requested fault universe from
@@ -26,6 +27,20 @@ netlist through the element-at-a-time interpreter and comparing against
 the compiled engine row-for-row: the two simulators must agree on every
 broken circuit, not just healthy ones.
 
+With ``--supervised`` each fault is additionally re-run on
+**self-checking hardware** (:mod:`repro.circuits.checkers`: sortedness +
+ones-count + control duplicate-and-compare for the combinational
+networks; the boundary :class:`~repro.circuits.checkers.OutputChecker`
+for the fish) and re-classified with the alarm wires taken into account
+(``supervised_outcome``), plus a live :class:`repro.runtime.Supervisor`
+pass on the broken hardware asserting every supervised sort still
+returns the correct answer via detection + fallback (``supervised_ok``).
+Faults on a network's *primary input wires* are flagged ``input_fault``:
+they sit upstream of the checkers' fault-secure region (the checker
+observes the already-faulted bus) and are excluded from the zero-silent
+acceptance bar — the supervisor still recovers them through its
+software invariant gate, which compares against the caller-held input.
+
 Fault models per network:
 
 * ``prefix`` / ``mux_merger`` (Model A, combinational): stuck-at-0/1 on
@@ -44,7 +59,13 @@ Fault models per network:
 The results file is checkpointed with atomic writes (tmp + ``os.replace``)
 every ``--checkpoint-every`` records, so a crashed or SIGKILLed campaign
 resumes where it left off (``--no-resume`` to start over); completed
-record ids are never re-run or duplicated.
+record ids are never re-run or duplicated.  Each item runs under a
+per-item deadline (``--item-timeout``, via
+:func:`repro.runtime.guard.run_guarded`) with ``--item-retries``
+exponential-backoff retries; an item that keeps failing is *quarantined*
+— recorded (id, error, attempts) in the checkpoint's ``quarantine``
+list and never re-run — so one pathological (network, n, fault) cannot
+hang or crash a whole campaign.
 """
 
 import argparse
@@ -60,7 +81,7 @@ if os.path.isdir(_SRC) and os.path.abspath(_SRC) not in map(os.path.abspath, sys
 
 import numpy as np
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 NETWORKS = ("prefix", "mux_merger", "fish")
 FAULT_KINDS = ("stuck", "swap", "control", "transient")
 
@@ -123,13 +144,85 @@ def _classify_combinational(mutant, probes, expected, diff_rows: int):
     return classify(out, expected), damage_metrics(out, expected), divergences
 
 
-def run_network_combinational(name, net, args, done, emit):
+def _supervised_rows(probes: np.ndarray, count: int) -> np.ndarray:
+    """A small deterministic spread of probe rows for the live
+    supervisor pass (evenly strided through the batch)."""
+    stride = max(1, probes.shape[0] // max(count, 1))
+    return probes[::stride][:count]
+
+
+def _supervised_extras_combinational(name, checked, faults, probes, expected, args):
+    """Re-run one fault on self-checking hardware + a live supervisor.
+
+    The fault set was enumerated on the *plain* netlist; `with_checkers`
+    keeps all original wire ids and element indices valid, so the exact
+    same fault objects apply to the checked netlist.
+    """
+    import dataclasses
+
+    from repro.analysis.resilience import alarm_stats, classify_with_alarms
+    from repro.circuits import apply_faults, simulate
+    from repro.runtime import RecoveryPolicy, Supervisor
+
+    cmutant = apply_faults(checked.netlist, faults)
+    out = simulate(cmutant, probes)
+    data, alarms = checked.split(out)
+    inputs = set(checked.netlist.inputs)
+    input_fault = any(getattr(f, "wire", -1) in inputs for f in faults)
+    broken = dataclasses.replace(checked, netlist=cmutant)
+    sup = Supervisor(
+        name, policy=RecoveryPolicy(max_retries=0), hardware=lambda n: broken
+    )
+    supervised_ok = all(
+        np.array_equal(sup.sort(row), np.sort(row))
+        for row in _supervised_rows(probes, args.supervised_probes)
+    )
+    return {
+        "supervised_outcome": classify_with_alarms(data, alarms, expected),
+        "alarm": alarm_stats(data, alarms, expected),
+        "input_fault": bool(input_fault),
+        "supervised_ok": bool(supervised_ok),
+    }
+
+
+def _supervised_extras_fish(checker, probes, expected, outs):
+    """Boundary-checker classification + supervised-recovery emulation
+    for one fish fault (outputs already computed cycle-accurately).
+
+    A supervised fish call falls back to behavioral sort whenever the
+    boundary checker alarms or the software invariant gate (monotone +
+    caller-held ones count) fails; the call is therefore correct unless
+    a wrong row passes both gates — exactly the condition tested here.
+    """
+    from repro.analysis.resilience import alarm_stats, classify_with_alarms, monotone_rows
+
+    alarms = checker.alarms(probes, outs)
+    row_alarm = alarms.any(axis=1)
+    invariant_fail = (
+        outs.sum(axis=1) != probes.sum(axis=1)
+    ) | ~monotone_rows(outs)
+    wrong = (outs != expected).any(axis=1)
+    supervised_ok = bool((~wrong | row_alarm | invariant_fail).all())
+    return {
+        "supervised_outcome": classify_with_alarms(outs, alarms, expected),
+        "alarm": alarm_stats(outs, alarms, expected),
+        "input_fault": False,  # fish faults target the internal group sorter
+        "supervised_ok": supervised_ok,
+    }
+
+
+def run_network_combinational(name, net, args, done, emit, run_item):
     from repro.circuits import apply_faults, fault_set_id, get_plan, StuckAt
     from repro.circuits.faults import driven_wires
 
     probes = _probe_batch(args.n, args.probes, _seed_for(args.seed, name, "probes"))
     expected = np.sort(probes, axis=1)
     get_plan(net)  # compile the healthy plan once (mutants compile per-fault)
+    checked = None
+    if args.supervised:
+        from repro.circuits.checkers import with_checkers
+
+        checked = with_checkers(net, sortedness=True, count=True, control=True)
     groups = _fault_universe(
         net, args.faults, cycles=[0], max_faults=args.max_faults,
         k=args.k, seed=args.seed, tag=name,
@@ -151,28 +244,37 @@ def run_network_combinational(name, net, args, done, emit):
             rid = f"{name}/{fault_set_id(faults)}"
             if rid in done:
                 continue
-            mutant = apply_faults(net, faults)
-            outcome, damage, div = _classify_combinational(
-                mutant, probes, expected, args.diff_rows
-            )
-            act = None
-            if len(faults) == 1 and isinstance(faults[0], StuckAt):
-                w, v = faults[0].wire, faults[0].value
-                if w in activation:
-                    act = activation[w] if v == 0 else 1.0 - activation[w]
-            emit({
-                "id": rid,
-                "network": name,
-                "kind": kind,
-                "faults": [f.id for f in faults],
-                "outcome": outcome,
-                "damage": damage,
-                "divergences": div,
-                "activation": act,
-            })
+
+            def item(faults=faults, kind=kind, rid=rid):
+                mutant = apply_faults(net, faults)
+                outcome, damage, div = _classify_combinational(
+                    mutant, probes, expected, args.diff_rows
+                )
+                act = None
+                if len(faults) == 1 and isinstance(faults[0], StuckAt):
+                    w, v = faults[0].wire, faults[0].value
+                    if w in activation:
+                        act = activation[w] if v == 0 else 1.0 - activation[w]
+                record = {
+                    "id": rid,
+                    "network": name,
+                    "kind": kind,
+                    "faults": [f.id for f in faults],
+                    "outcome": outcome,
+                    "damage": damage,
+                    "divergences": div,
+                    "activation": act,
+                }
+                if checked is not None:
+                    record.update(_supervised_extras_combinational(
+                        name, checked, faults, probes, expected, args
+                    ))
+                emit(record)
+
+            run_item(rid, item)
 
 
-def run_network_fish(args, done, emit):
+def run_network_fish(args, done, emit, run_item):
     """Campaign over Network 3: structural faults on the time-shared group
     sorter; transients on the cycle-accurate Model-B pipeline."""
     from repro.analysis.resilience import classify, damage_metrics
@@ -190,6 +292,11 @@ def run_network_fish(args, done, emit):
     rng = np.random.default_rng(_seed_for(args.seed, "fish", "probes"))
     probes = rng.integers(0, 2, (args.fish_probes, args.n)).astype(np.uint8)
     expected = np.sort(probes, axis=1)
+    checker = None
+    if args.supervised:
+        from repro.circuits.checkers import build_output_checker
+
+        checker = build_output_checker(args.n)
     # Interpreter-vs-engine differential probes for the mutated group
     # netlist: exhaustive over the group width (it is small by design).
     from repro.circuits import exhaustive_inputs
@@ -204,31 +311,40 @@ def run_network_fish(args, done, emit):
             rid = f"fish/{fault_set_id(faults)}"
             if rid in done:
                 continue
-            transients = [f for f in faults if isinstance(f, TransientFlip)]
-            structural = [f for f in faults if not isinstance(f, TransientFlip)]
-            mutant = apply_faults(target, structural) if structural else target
-            runner = fs.clone_with_group_sorter(mutant) if structural else fs
-            out = np.stack([
-                runner.sort_cycle_accurate(row, transients=transients)[0]
-                for row in probes
-            ])
-            # Same-fault differential: the mutated group netlist through
-            # both simulators (transients project to inversions there).
-            diff_net = apply_faults(mutant, transients) if transients else mutant
-            divergences = int(
-                (simulate(diff_net, gprobes) != simulate_interpreted(diff_net, gprobes))
-                .any(axis=1).sum()
-            )
-            emit({
-                "id": rid,
-                "network": "fish",
-                "kind": kind,
-                "faults": [f.id for f in faults],
-                "outcome": classify(out, expected),
-                "damage": damage_metrics(out, expected),
-                "divergences": divergences,
-                "activation": None,
-            })
+
+            def item(faults=faults, kind=kind, rid=rid):
+                transients = [f for f in faults if isinstance(f, TransientFlip)]
+                structural = [f for f in faults if not isinstance(f, TransientFlip)]
+                mutant = apply_faults(target, structural) if structural else target
+                runner = fs.clone_with_group_sorter(mutant) if structural else fs
+                out = np.stack([
+                    runner.sort_cycle_accurate(row, transients=transients)[0]
+                    for row in probes
+                ])
+                # Same-fault differential: the mutated group netlist through
+                # both simulators (transients project to inversions there).
+                diff_net = apply_faults(mutant, transients) if transients else mutant
+                divergences = int(
+                    (simulate(diff_net, gprobes) != simulate_interpreted(diff_net, gprobes))
+                    .any(axis=1).sum()
+                )
+                record = {
+                    "id": rid,
+                    "network": "fish",
+                    "kind": kind,
+                    "faults": [f.id for f in faults],
+                    "outcome": classify(out, expected),
+                    "damage": damage_metrics(out, expected),
+                    "divergences": divergences,
+                    "activation": None,
+                }
+                if checker is not None:
+                    record.update(_supervised_extras_fish(
+                        checker, probes, expected, out
+                    ))
+                emit(record)
+
+            run_item(rid, item)
 
 
 def main(argv=None) -> int:
@@ -248,6 +364,17 @@ def main(argv=None) -> int:
                         help="probe vectors per fault for the cycle-accurate fish path")
     parser.add_argument("--diff-rows", type=int, default=256,
                         help="probe rows re-run through the interpreter per fault")
+    parser.add_argument("--supervised", action="store_true",
+                        help="re-run each fault on self-checking hardware and "
+                             "through the recovery supervisor")
+    parser.add_argument("--supervised-probes", type=int, default=8,
+                        help="probe rows per fault for the live supervisor pass")
+    parser.add_argument("--item-timeout", type=float, default=0.0,
+                        help="per-item wall-clock budget in seconds (0 = off)")
+    parser.add_argument("--item-retries", type=int, default=1,
+                        help="retries (with exponential backoff) before quarantining an item")
+    parser.add_argument("--item-backoff", type=float, default=0.05,
+                        help="initial retry backoff in seconds")
     parser.add_argument("--seed", type=int, default=0xFA17)
     parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("FAULTS.json"))
     parser.add_argument("--checkpoint-every", type=int, default=20)
@@ -267,8 +394,9 @@ def main(argv=None) -> int:
             return 2
     args.faults = faults
 
-    from repro.analysis.resilience import format_resilience_table, summarize
+    from repro.analysis.resilience import SILENT, format_resilience_table, summarize
     from repro.ioutil import atomic_write_json
+    from repro.runtime.guard import run_guarded
 
     meta = {
         "version": FORMAT_VERSION,
@@ -278,9 +406,11 @@ def main(argv=None) -> int:
         "k": args.k,
         "seed": args.seed,
         "max_faults": args.max_faults,
+        "supervised": bool(args.supervised),
         "complete": False,
     }
     records = []
+    quarantine = []
     if args.out.is_file() and not args.no_resume:
         try:
             prior = json.loads(args.out.read_text())
@@ -290,20 +420,50 @@ def main(argv=None) -> int:
             same = {k: prior["meta"].get(k) for k in meta if k != "complete"}
             if same == {k: v for k, v in meta.items() if k != "complete"}:
                 records = prior.get("records", [])
-                print(f"resuming from {args.out}: {len(records)} records done")
+                quarantine = prior.get("quarantine", [])
+                print(f"resuming from {args.out}: {len(records)} records done"
+                      + (f", {len(quarantine)} quarantined" if quarantine else ""))
             else:
                 print(f"checkpoint {args.out} is from different settings; starting over")
-    done = {r["id"] for r in records}
+    done = {r["id"] for r in records} | {q["id"] for q in quarantine}
 
     state = {"since_checkpoint": 0}
+
+    def checkpoint():
+        atomic_write_json(
+            args.out, {"meta": meta, "records": records, "quarantine": quarantine}
+        )
+        state["since_checkpoint"] = 0
 
     def emit(record):
         records.append(record)
         done.add(record["id"])
         state["since_checkpoint"] += 1
         if state["since_checkpoint"] >= args.checkpoint_every:
-            atomic_write_json(args.out, {"meta": meta, "records": records})
-            state["since_checkpoint"] = 0
+            checkpoint()
+
+    def run_item(rid, fn):
+        """One campaign item under deadline + retry; quarantine on
+        persistent failure instead of killing the whole campaign."""
+        try:
+            run_guarded(
+                fn,
+                timeout_s=args.item_timeout or None,
+                retries=max(args.item_retries, 0),
+                backoff_s=args.item_backoff,
+                what=rid,
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            quarantine.append({
+                "id": rid,
+                "error": repr(exc),
+                "attempts": max(args.item_retries, 0) + 1,
+            })
+            done.add(rid)
+            print(f"quarantined {rid}: {exc!r}")
+            checkpoint()
 
     from repro.core.mux_merger import build_mux_merger_sorter
     from repro.core.prefix_sorter import build_prefix_sorter
@@ -312,21 +472,45 @@ def main(argv=None) -> int:
     for name in networks:
         before = len(records)
         if name == "fish":
-            run_network_fish(args, done, emit)
+            run_network_fish(args, done, emit, run_item)
         else:
-            run_network_combinational(name, builders[name](args.n), args, done, emit)
+            run_network_combinational(
+                name, builders[name](args.n), args, done, emit, run_item
+            )
         print(f"{name}: {len(records) - before} new records ({len(records)} total)")
 
     summary = summarize(records)
     meta["complete"] = True
-    atomic_write_json(args.out, {"meta": meta, "records": records, "summary": summary})
-    print(f"wrote {args.out}: {len(records)} records")
+    atomic_write_json(
+        args.out,
+        {"meta": meta, "records": records, "quarantine": quarantine, "summary": summary},
+    )
+    print(f"wrote {args.out}: {len(records)} records"
+          + (f", {len(quarantine)} quarantined" if quarantine else ""))
     print()
     print(format_resilience_table(summary, title=f"Fault resilience (n={args.n})"))
     total_div = sum(r["divergences"] for r in records)
     detected = sum(1 for r in records if r["outcome"] == "detected")
     print(f"\ndetected: {detected}/{len(records)}; interpreter/engine divergences: {total_div}")
-    return 1 if total_div else 0
+    failed = bool(total_div)
+    if args.supervised:
+        silent_checked = [
+            r for r in records
+            if r.get("supervised_outcome") == SILENT and not r.get("input_fault")
+        ]
+        not_recovered = [r for r in records if r.get("supervised_ok") is False]
+        sup_detected = sum(
+            1 for r in records if r.get("supervised_outcome") == "detected"
+        )
+        print(f"supervised: detected {sup_detected}/{len(records)}; "
+              f"silent-past-checkers (non-input): {len(silent_checked)}; "
+              f"unrecovered supervised sorts: {len(not_recovered)}")
+        for r in silent_checked[:10]:
+            print(f"  SILENT past checkers: {r['id']}")
+        for r in not_recovered[:10]:
+            print(f"  NOT RECOVERED: {r['id']}")
+        failed = failed or bool(silent_checked) or bool(not_recovered)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -12,6 +12,13 @@ form.  ``--engine-bench`` instead times the element-at-a-time
 interpreter against the compiled level-batched engine
 (:mod:`repro.circuits.engine`) and records the speedup series; feed two
 such files to ``tools/compare_sweeps.py`` to gate throughput drift.
+
+Every (network, n) item runs under a per-item deadline with retry
+(``--item-timeout`` / ``--item-retries``, via
+:func:`repro.runtime.guard.run_guarded`); an item that keeps failing is
+quarantined and recorded in a sibling ``<out>.quarantine.json`` (kept
+out of the main file so ``compare_sweeps.py`` record formats are
+unchanged), letting the rest of the sweep complete.
 """
 
 import argparse
@@ -32,14 +39,49 @@ NETWORKS = [
 ]
 
 
-def run_sweep(max_lg: int, min_lg: int = 4) -> list:
+def _guarded_item(guard_args, label, fn, quarantine):
+    """Run one sweep item under deadline + retry; on persistent failure
+    record it in ``quarantine`` and return None instead of raising."""
+    from repro.runtime.guard import run_guarded
+
+    try:
+        return run_guarded(
+            fn,
+            timeout_s=guard_args.item_timeout or None,
+            retries=max(guard_args.item_retries, 0),
+            backoff_s=guard_args.item_backoff,
+            what=label,
+        )
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        quarantine.append({
+            "id": label,
+            "error": repr(exc),
+            "attempts": max(guard_args.item_retries, 0) + 1,
+        })
+        print(f"quarantined {label}: {exc!r}")
+        return None
+
+
+def run_sweep(max_lg: int, min_lg: int = 4, guard_args=None, quarantine=None) -> list:
     from repro.analysis import measure_network
 
     records = []
+    quarantine = quarantine if quarantine is not None else []
     for name in NETWORKS:
         for p in range(min_lg, max_lg + 1):
             n = 1 << p
-            m = measure_network(name, n)
+            if guard_args is not None:
+                m = _guarded_item(
+                    guard_args, f"{name}/n={n}",
+                    lambda name=name, n=n: measure_network(name, n),
+                    quarantine,
+                )
+                if m is None:
+                    continue
+            else:
+                m = measure_network(name, n)
             records.append(
                 {
                     "network": m.network,
@@ -83,7 +125,7 @@ ENGINE_BENCH_SERIES = [
 ]
 
 
-def run_engine_bench() -> list:
+def run_engine_bench(guard_args=None, quarantine=None) -> list:
     """Interpreter-vs-engine timing records for the drift gate."""
     import numpy as np
 
@@ -94,37 +136,56 @@ def run_engine_bench() -> list:
     builders = {"prefix": build_prefix_sorter, "mux_merger": build_mux_merger_sorter}
     rng = np.random.default_rng(0xE9)
     records = []
+    quarantine = quarantine if quarantine is not None else []
     for name, n, rows, mode, floor in ENGINE_BENCH_SERIES:
-        net = builders[name](n)
-        plan = get_plan(net)  # compile outside the timed region
-        if mode == "packed-exhaustive":
-            batch = exhaustive_inputs(n)
-            run_engine = lambda: plan.execute_packed(batch)
-        else:
-            batch = rng.integers(0, 2, (rows, n)).astype(np.uint8)
-            run_engine = lambda: plan.execute(batch)
-        if not np.array_equal(run_engine(), simulate_interpreted(net, batch)):
-            raise AssertionError(f"engine mismatch on {name} n={n} ({mode})")
-        interp_s = _best_of(lambda: simulate_interpreted(net, batch))
-        engine_s = _best_of(run_engine)
-        records.append(
-            {
-                "network": name,
-                "n": n,
-                "batch": rows,
-                "mode": mode,
-                "elements": len(net.elements),
-                "interp_s": round(interp_s, 6),
-                "engine_s": round(engine_s, 6),
-                "speedup": round(interp_s / engine_s, 2),
-                "floor": floor,
-            }
-        )
-        print(
-            f"  {name} n={n} ({mode}): interp {interp_s:.4f}s "
-            f"engine {engine_s:.5f}s -> {records[-1]['speedup']}x"
-        )
+        if guard_args is not None:
+            rec = _guarded_item(
+                guard_args, f"{name}/n={n}/{mode}",
+                lambda name=name, n=n, rows=rows, mode=mode, floor=floor:
+                    _engine_bench_item(builders, rng, name, n, rows, mode, floor),
+                quarantine,
+            )
+            if rec is not None:
+                records.append(rec)
+            continue
+        records.append(_engine_bench_item(builders, rng, name, n, rows, mode, floor))
     return records
+
+
+def _engine_bench_item(builders, rng, name, n, rows, mode, floor) -> dict:
+    import numpy as np
+
+    from repro.circuits import exhaustive_inputs, get_plan
+    from repro.circuits.simulate import simulate_interpreted
+
+    net = builders[name](n)
+    plan = get_plan(net)  # compile outside the timed region
+    if mode == "packed-exhaustive":
+        batch = exhaustive_inputs(n)
+        run_engine = lambda: plan.execute_packed(batch)
+    else:
+        batch = rng.integers(0, 2, (rows, n)).astype(np.uint8)
+        run_engine = lambda: plan.execute(batch)
+    if not np.array_equal(run_engine(), simulate_interpreted(net, batch)):
+        raise AssertionError(f"engine mismatch on {name} n={n} ({mode})")
+    interp_s = _best_of(lambda: simulate_interpreted(net, batch))
+    engine_s = _best_of(run_engine)
+    record = {
+        "network": name,
+        "n": n,
+        "batch": rows,
+        "mode": mode,
+        "elements": len(net.elements),
+        "interp_s": round(interp_s, 6),
+        "engine_s": round(engine_s, 6),
+        "speedup": round(interp_s / engine_s, 2),
+        "floor": floor,
+    }
+    print(
+        f"  {name} n={n} ({mode}): interp {interp_s:.4f}s "
+        f"engine {engine_s:.5f}s -> {record['speedup']}x"
+    )
+    return record
 
 
 def main(argv=None) -> int:
@@ -136,22 +197,40 @@ def main(argv=None) -> int:
         action="store_true",
         help="time interpreter vs compiled engine instead of cost/depth/time",
     )
+    parser.add_argument("--item-timeout", type=float, default=0.0,
+                        help="per-item wall-clock budget in seconds (0 = off)")
+    parser.add_argument("--item-retries", type=int, default=1,
+                        help="retries (with exponential backoff) before quarantining an item")
+    parser.add_argument("--item-backoff", type=float, default=0.05,
+                        help="initial retry backoff in seconds")
     parser.add_argument("--out", type=pathlib.Path, default=None)
     args = parser.parse_args(argv)
     from repro.ioutil import atomic_write_text
 
+    quarantine = []
+
+    def write_quarantine(out: pathlib.Path) -> None:
+        qpath = out.with_suffix(out.suffix + ".quarantine.json")
+        if quarantine:
+            atomic_write_text(qpath, json.dumps(quarantine, indent=1))
+            print(f"wrote {qpath}: {len(quarantine)} quarantined items")
+        elif qpath.is_file():
+            qpath.unlink()  # stale quarantine from an earlier run
+
     if args.engine_bench:
         out = args.out or pathlib.Path("BENCH_engine.json")
-        records = run_engine_bench()
+        records = run_engine_bench(guard_args=args, quarantine=quarantine)
         atomic_write_text(out, json.dumps(records, indent=1))
+        write_quarantine(out)
         print(f"wrote {out}: {len(records)} engine-bench records")
         return 0
     out = args.out or pathlib.Path("sweep.json")
     if not 2 <= args.min_lg <= args.max_lg <= 14:
         print("need 2 <= min-lg <= max-lg <= 14")
         return 2
-    records = run_sweep(args.max_lg, args.min_lg)
+    records = run_sweep(args.max_lg, args.min_lg, guard_args=args, quarantine=quarantine)
     atomic_write_text(out, json.dumps(records, indent=1))
+    write_quarantine(out)
     print(f"wrote {out}: {len(records)} records "
           f"({len(NETWORKS)} networks x n = 2^{args.min_lg}..2^{args.max_lg})")
     return 0
