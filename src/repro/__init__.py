@@ -26,7 +26,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
-from . import analysis, baselines, circuits, components, core, networks, runtime, viz
+from . import analysis, baselines, circuits, components, core, networks, obs, runtime, viz
 from .errors import (
     BuildError,
     CheckerAlarm,
@@ -88,6 +88,7 @@ __all__ = [
     "core",
     "make_sorter",
     "networks",
+    "obs",
     "runtime",
     "set_cache_limit",
     "sort_bits",

@@ -35,6 +35,7 @@ which is simultaneously correct for ``uint8`` 0/1 lanes and for packed
 
 from __future__ import annotations
 
+import time
 import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -42,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import elements as el
+from .. import obs
 from .netlist import Netlist
 
 #: Payload value used on wires that do not carry data (gate outputs,
@@ -65,16 +67,19 @@ class FusedStep:
     ``in_idx``/``out_idx`` are ``(n_elements, arity)`` wire-index arrays;
     ``params`` is the stacked ``(n_elements, 4, 4)`` permutation table
     for :data:`~repro.circuits.elements.SWITCH4` steps, else ``None``.
-    ``level`` is the execution level the step runs at (0-based).
+    ``level`` is the execution level the step runs at (0-based);
+    ``eidx`` maps each fused row back to its element's position in the
+    source netlist's element list (observability's stable element id).
     """
 
-    __slots__ = ("kind", "in_idx", "out_idx", "params", "level")
+    __slots__ = ("kind", "in_idx", "out_idx", "params", "level", "eidx")
 
     kind: str
     in_idx: np.ndarray
     out_idx: np.ndarray
     params: Optional[np.ndarray]
     level: int
+    eidx: np.ndarray
 
 
 def fuse_elements(elements) -> List[FusedStep]:
@@ -89,20 +94,21 @@ def fuse_elements(elements) -> List[FusedStep]:
     """
     level: Dict[int, int] = {}
     buckets: Dict[Tuple[int, str], List] = {}
-    for e in elements:
+    for i, e in enumerate(elements):
         lvl = max((level.get(w, 0) for w in e.ins), default=0)
-        buckets.setdefault((lvl, e.kind), []).append(e)
+        buckets.setdefault((lvl, e.kind), []).append((i, e))
         for w in e.outs:
             level[w] = lvl + 1
     steps: List[FusedStep] = []
     for (lvl, kind) in sorted(buckets):
         group = buckets[(lvl, kind)]
-        in_idx = np.array([e.ins for e in group], dtype=np.intp)
-        out_idx = np.array([e.outs for e in group], dtype=np.intp)
+        in_idx = np.array([e.ins for _, e in group], dtype=np.intp)
+        out_idx = np.array([e.outs for _, e in group], dtype=np.intp)
+        eidx = np.array([i for i, _ in group], dtype=np.intp)
         params = None
         if kind == el.SWITCH4:
-            params = np.array([e.params for e in group], dtype=np.intp)
-        steps.append(FusedStep(kind, in_idx, out_idx, params, lvl))
+            params = np.array([e.params for _, e in group], dtype=np.intp)
+        steps.append(FusedStep(kind, in_idx, out_idx, params, lvl, eidx))
     return steps
 
 
@@ -252,6 +258,7 @@ class ExecutionPlan:
         constants: Tuple[Tuple[int, int], ...],
         steps: List[FusedStep],
         name: str = "netlist",
+        control_wires: Sequence[int] = (),
     ) -> None:
         self.n_wires = n_wires
         self.in_wires = in_wires
@@ -259,6 +266,8 @@ class ExecutionPlan:
         self.constants = constants
         self.steps = steps
         self.name = name
+        #: Tagged adaptive steering wires (observability profiles these).
+        self.control_wires = np.asarray(sorted(control_wires), dtype=np.intp)
         #: Number of execution levels (longest dependency chain length).
         self.n_levels = 1 + max((s.level for s in steps), default=-1)
         #: Total elements fused into this plan.
@@ -269,6 +278,63 @@ class ExecutionPlan:
             f"ExecutionPlan({self.name!r}, elements={self.n_elements}, "
             f"steps={len(self.steps)}, levels={self.n_levels})"
         )
+
+    # -- observability ---------------------------------------------------------
+
+    def _apply_observed(self, V: np.ndarray, ones, lanes: int, mode: str,
+                        P: Optional[np.ndarray] = None) -> None:
+        """Instrumented twin of the ``apply_steps`` call in the execute
+        paths: drives the *same* kernels one fused step at a time
+        (``apply_steps(V, (step,), ...)``), so outputs stay bit-identical,
+        while recording per-(level, kind) kernel timings and
+        gather/scatter byte counts, an ``engine.execute`` span, and the
+        switch-activity profile.  Only reached when ``repro.obs`` is
+        enabled."""
+        reg = obs.OBS.registry
+        item = V.itemsize + (P.itemsize if P is not None else 0)
+        cols = V.shape[1]
+        with obs.OBS.tracer.span(
+            "engine.execute", netlist=self.name, mode=mode, batch=lanes,
+            levels=self.n_levels, elements=self.n_elements,
+        ) as attrs:
+            step_profile = []
+            started = time.perf_counter()
+            for step in self.steps:
+                t0 = time.perf_counter()
+                if P is None:
+                    apply_steps(V, (step,), ones)
+                else:
+                    apply_steps_payload(V, P, (step,))
+                dt = time.perf_counter() - t0
+                step_profile.append(
+                    [step.level, step.kind, round(dt, 9), len(step.eidx)]
+                )
+                reg.counter(
+                    "repro_engine_kernel_seconds_total",
+                    "Kernel time per fused-step element kind",
+                    kind=step.kind,
+                ).inc(dt)
+                reg.counter(
+                    "repro_engine_gather_bytes_total",
+                    "Bytes gathered from the value matrix",
+                    kind=step.kind,
+                ).inc(step.in_idx.size * cols * item)
+                reg.counter(
+                    "repro_engine_scatter_bytes_total",
+                    "Bytes scattered into the value matrix",
+                    kind=step.kind,
+                ).inc(step.out_idx.size * cols * item)
+            total = time.perf_counter() - started
+            attrs["steps"] = step_profile
+        reg.counter("repro_engine_executions_total",
+                    "Compiled-plan executions", mode=mode).inc()
+        reg.counter("repro_engine_lanes_total",
+                    "Input vectors evaluated", mode=mode).inc(lanes)
+        reg.histogram("repro_engine_execute_seconds",
+                      "Wall-clock of one plan execution",
+                      netlist=self.name).observe(total)
+        if obs.OBS.activity:
+            obs.record_execution(self, V, lanes, packed=(mode == "packed"))
 
     # -- execution -------------------------------------------------------------
 
@@ -297,7 +363,10 @@ class ExecutionPlan:
             V[self.in_wires] = batch.T
         for w, val in self.constants:
             V[w] = val
-        apply_steps(V, self.steps, _ONES8)
+        if obs.OBS.enabled:
+            self._apply_observed(V, _ONES8, B, "unpacked")
+        else:
+            apply_steps(V, self.steps, _ONES8)
         out = np.ascontiguousarray(V[self.out_wires].T)
         if taps is None:
             return out
@@ -318,7 +387,10 @@ class ExecutionPlan:
             V[self.in_wires] = packed.view(np.uint64)
         for w, val in self.constants:
             V[w] = _ONES64 if val else 0
-        apply_steps(V, self.steps, _ONES64)
+        if obs.OBS.enabled:
+            self._apply_observed(V, _ONES64, B, "packed")
+        else:
+            apply_steps(V, self.steps, _ONES64)
 
         def unpack(wires: np.ndarray) -> np.ndarray:
             words = np.ascontiguousarray(V[wires])  # (n_sel, W)
@@ -345,7 +417,10 @@ class ExecutionPlan:
         for w, val in self.constants:
             T[w] = val
             P[w] = NO_PAYLOAD
-        apply_steps_payload(T, P, self.steps)
+        if obs.OBS.enabled:
+            self._apply_observed(T, _ONES8, B, "payload", P=P)
+        else:
+            apply_steps_payload(T, P, self.steps)
         return (
             np.ascontiguousarray(T[self.out_wires].T),
             np.ascontiguousarray(P[self.out_wires].T),
@@ -361,6 +436,7 @@ def compile_plan(netlist: Netlist) -> ExecutionPlan:
         constants=tuple(netlist.constants.items()),
         steps=fuse_elements(netlist.elements),
         name=netlist.name,
+        control_wires=netlist.control_wires,
     )
 
 
@@ -378,7 +454,17 @@ def get_plan(netlist: Netlist) -> ExecutionPlan:
     """
     plan = _PLAN_CACHE.get(netlist)
     if plan is None:
-        plan = compile_plan(netlist)
+        if obs.OBS.enabled:
+            with obs.OBS.tracer.span(
+                "engine.compile", netlist=netlist.name,
+                elements=len(netlist.elements),
+            ):
+                plan = compile_plan(netlist)
+            obs.OBS.registry.counter(
+                "repro_engine_compiles_total", "Netlist plan compilations"
+            ).inc()
+        else:
+            plan = compile_plan(netlist)
         _PLAN_CACHE[netlist] = plan
     return plan
 

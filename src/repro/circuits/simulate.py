@@ -31,6 +31,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from . import elements as el
+from .. import obs
 from ..errors import SimulationError
 from .engine import NO_PAYLOAD, get_plan
 from .netlist import Netlist
@@ -86,13 +87,25 @@ def simulate_interpreted(netlist: Netlist, inputs) -> np.ndarray:
 
     Same contract as :func:`simulate`; kept deliberately independent of
     :mod:`repro.circuits.engine` so differential tests compare two
-    implementations that share nothing but the netlist.
+    implementations that share nothing but the netlist.  (The only
+    shared machinery is the passive :mod:`repro.obs` span around the
+    run, which observes timing without touching wire values.)
     """
     batch = _as_batch(inputs)
     if batch.shape[1] != len(netlist.inputs):
         raise SimulationError(
             f"expected {len(netlist.inputs)} inputs, got {batch.shape[1]}"
         )
+    if not obs.OBS.enabled:
+        return _interpret_bits(netlist, batch)
+    with obs.OBS.tracer.span(
+        "interp.execute", netlist=netlist.name, mode="bit",
+        batch=batch.shape[0], elements=len(netlist.elements),
+    ):
+        return _interpret_bits(netlist, batch)
+
+
+def _interpret_bits(netlist: Netlist, batch: np.ndarray) -> np.ndarray:
     n_batch = batch.shape[0]
     values: list = [None] * netlist.n_wires
     for i, w in enumerate(netlist.inputs):
@@ -189,16 +202,19 @@ def simulate_payload_interpreted(
 
     Same contract as :func:`simulate_payload`.
     """
-    tag_batch = _as_batch(tags)
-    pay_batch = np.asarray(payloads, dtype=np.int64)
-    if pay_batch.ndim == 1:
-        pay_batch = pay_batch[np.newaxis, :]
-    if pay_batch.shape != tag_batch.shape:
-        raise SimulationError("tags and payloads must have the same shape")
-    if tag_batch.shape[1] != len(netlist.inputs):
-        raise SimulationError(
-            f"expected {len(netlist.inputs)} inputs, got {tag_batch.shape[1]}"
-        )
+    tag_batch, pay_batch = _as_payload_batch(netlist, tags, payloads)
+    if not obs.OBS.enabled:
+        return _interpret_payload(netlist, tag_batch, pay_batch)
+    with obs.OBS.tracer.span(
+        "interp.execute", netlist=netlist.name, mode="payload",
+        batch=tag_batch.shape[0], elements=len(netlist.elements),
+    ):
+        return _interpret_payload(netlist, tag_batch, pay_batch)
+
+
+def _interpret_payload(
+    netlist: Netlist, tag_batch: np.ndarray, pay_batch: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
     n_batch = tag_batch.shape[0]
     tags_v: list = [None] * netlist.n_wires
     pays_v: list = [None] * netlist.n_wires

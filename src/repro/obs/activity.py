@@ -1,0 +1,200 @@
+"""Switch-activity profiling: how often the adaptive elements actually flip.
+
+The paper's whole point is that control is *adaptive* — switch settings
+are derived from the data (Table I, Figs. 5-7) rather than fixed.  This
+module measures that adaptivity empirically: for every routing element
+and every tagged control wire, how many batch lanes put it in its
+non-default (crossed) state.
+
+Because each wire of a netlist is driven exactly once, the engine's
+settled value matrix ``V`` (``n_wires x lanes``) contains every control
+signal after a run; one pass over the plan's fused steps therefore
+yields exact per-element counts with no change to the kernels:
+
+* ``COMPARATOR`` — *exchanged* lanes, ``a=1, b=0`` (the only input pair
+  a comparator reorders);
+* ``SWITCH2`` / ``MUX2`` — control input high (crossed / selecting b);
+* ``DEMUX2`` — select high (routing to the second branch);
+* ``SWITCH4`` — any select bit high (a non-identity quarter permutation);
+* every wire in ``Netlist.control_wires`` — the adaptive steering
+  signals PR 2 tagged for fault injection — counted individually.
+
+Counts accumulate per plan into an :class:`ActivityProfile`
+(process-global, keyed by netlist name); :func:`summarize_profile`
+reduces one to a compact JSON-able summary (per-(level, kind) mean
+toggle fractions + the most active elements and control wires), which is
+what :func:`repro.obs.flush_activity` appends to the trace stream and
+``tools/trace_report.py`` renders as the text heatmap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = [
+    "ActivityProfile",
+    "activity_profiles",
+    "record_execution",
+    "reset_activity",
+    "summarize_profile",
+]
+
+#: Cap on elements/wires listed individually in a summary.
+TOP_K = 32
+
+
+class ActivityProfile:
+    """Accumulated toggle counts for one compiled plan."""
+
+    def __init__(self, name: str, plan) -> None:
+        self.name = name
+        self.n_elements = plan.n_elements
+        self.lanes = 0
+        #: crossed-lane count per original element index.
+        self.crossed = np.zeros(plan.n_elements, dtype=np.int64)
+        #: element kind / execution level, aligned with ``crossed``.
+        self.kind = np.empty(plan.n_elements, dtype=object)
+        self.level = np.zeros(plan.n_elements, dtype=np.int64)
+        #: True where the element is a routing element we profile.
+        self.switching = np.zeros(plan.n_elements, dtype=bool)
+        for step in plan.steps:
+            self.kind[step.eidx] = step.kind
+            self.level[step.eidx] = step.level
+        #: tagged adaptive control wires and their high-lane counts.
+        self.control_wires = np.asarray(plan.control_wires, dtype=np.intp)
+        self.wire_high = np.zeros(self.control_wires.size, dtype=np.int64)
+
+
+_PROFILES: Dict[str, ActivityProfile] = {}
+_LOCK = threading.Lock()
+
+
+def _get_profile(plan) -> ActivityProfile:
+    with _LOCK:
+        prof = _PROFILES.get(plan.name)
+        if prof is None or prof.n_elements != plan.n_elements:
+            # New plan, or a different netlist reusing the name: restart.
+            prof = ActivityProfile(plan.name, plan)
+            _PROFILES[plan.name] = prof
+        return prof
+
+
+def activity_profiles() -> Dict[str, ActivityProfile]:
+    """Live profiles by netlist name (a shallow copy of the registry)."""
+    with _LOCK:
+        return dict(_PROFILES)
+
+
+def reset_activity() -> None:
+    """Drop every accumulated profile."""
+    with _LOCK:
+        _PROFILES.clear()
+
+
+def _popcount_rows(rows: np.ndarray, lanes: int, packed: bool) -> np.ndarray:
+    """Per-row count of high lanes; ``rows`` is (m, lanes) uint8 0/1 or
+    (m, words) packed uint64.  Packed rows mask the pad bits beyond
+    ``lanes`` (constants and inverters set them high)."""
+    if not packed:
+        return rows.sum(axis=1, dtype=np.int64)
+    bits = np.unpackbits(
+        np.ascontiguousarray(rows).view(np.uint8), axis=1, bitorder="little"
+    )[:, :lanes]
+    return bits.sum(axis=1, dtype=np.int64)
+
+
+def record_execution(plan, V: np.ndarray, lanes: int, packed: bool) -> None:
+    """Fold one finished execution's settled values into the profile.
+
+    ``V`` is the engine's value matrix *after* ``apply_steps`` (or the
+    tag matrix of a payload run); ``lanes`` the true batch size (the
+    packed path rounds storage up to whole uint64 words).
+    """
+    # Imported here to avoid a hard cycle: engine imports repro.obs.
+    from ..circuits import elements as el
+
+    prof = _get_profile(plan)
+    ones = np.uint64(0xFFFFFFFFFFFFFFFF) if packed else np.uint8(1)
+    with _LOCK:
+        for step in plan.steps:
+            kind = step.kind
+            if kind == el.COMPARATOR:
+                a = V[step.in_idx[:, 0]]
+                b = V[step.in_idx[:, 1]]
+                ctrl = a & (b ^ ones)  # exchanged: a=1, b=0
+            elif kind in (el.SWITCH2, el.MUX2):
+                ctrl = V[step.in_idx[:, 2]]
+            elif kind == el.DEMUX2:
+                ctrl = V[step.in_idx[:, 1]]
+            elif kind == el.SWITCH4:
+                ctrl = V[step.in_idx[:, 4]] | V[step.in_idx[:, 5]]
+            else:
+                continue
+            prof.crossed[step.eidx] += _popcount_rows(ctrl, lanes, packed)
+            prof.switching[step.eidx] = True
+        if prof.control_wires.size:
+            prof.wire_high += _popcount_rows(
+                V[prof.control_wires], lanes, packed
+            )
+        prof.lanes += lanes
+
+
+def summarize_profile(prof: ActivityProfile,
+                      top_k: int = TOP_K) -> Dict[str, object]:
+    """Reduce a profile to the JSON summary the trace stream carries.
+
+    ``levels`` is the heatmap backbone: one row per execution level that
+    contains routing elements, with the mean and max toggle fraction
+    across that level's elements.  ``top_elements`` / ``top_wires`` name
+    the individually busiest switches and steering wires.
+    """
+    lanes = max(prof.lanes, 1)
+    sw = prof.switching
+    levels: List[Dict[str, object]] = []
+    if sw.any():
+        frac = prof.crossed[sw] / float(lanes)
+        lvl = prof.level[sw]
+        kinds = prof.kind[sw]
+        for level in np.unique(lvl):
+            mask = lvl == level
+            level_kinds = sorted({str(k) for k in kinds[mask]})
+            levels.append({
+                "level": int(level),
+                "elements": int(mask.sum()),
+                "kinds": level_kinds,
+                "mean_frac": float(frac[mask].mean()),
+                "max_frac": float(frac[mask].max()),
+            })
+    top_elements: List[Dict[str, object]] = []
+    if sw.any():
+        idx = np.flatnonzero(sw)
+        order = idx[np.argsort(prof.crossed[idx])[::-1][:top_k]]
+        for e in order:
+            top_elements.append({
+                "element": int(e),
+                "kind": str(prof.kind[e]),
+                "level": int(prof.level[e]),
+                "crossed": int(prof.crossed[e]),
+                "frac": float(prof.crossed[e] / lanes),
+            })
+    top_wires: List[Dict[str, object]] = []
+    if prof.control_wires.size:
+        order = np.argsort(prof.wire_high)[::-1][:top_k]
+        for i in order:
+            top_wires.append({
+                "wire": int(prof.control_wires[i]),
+                "high": int(prof.wire_high[i]),
+                "frac": float(prof.wire_high[i] / lanes),
+            })
+    return {
+        "netlist": prof.name,
+        "lanes": int(prof.lanes),
+        "switching_elements": int(sw.sum()),
+        "control_wires": int(prof.control_wires.size),
+        "levels": levels,
+        "top_elements": top_elements,
+        "top_wires": top_wires,
+    }

@@ -1,0 +1,266 @@
+"""Span-based tracing: nestable spans, instant events, JSON-lines sinks.
+
+The tracer emits one JSON object per line ("JSON lines"), the format
+every trace viewer and log shipper can ingest, and the one
+``tools/trace_report.py`` summarizes.  Two record shapes:
+
+* **span** — emitted when a :func:`trace_span` context exits::
+
+      {"type": "span", "name": "engine.execute", "ts": 1.2345,
+       "dur": 0.0021, "depth": 1, "sid": 7, "parent": 3,
+       "tid": 140234, "attrs": {...}}
+
+  ``ts`` is a monotonic timestamp (``time.perf_counter``) relative to
+  the tracer's epoch, ``dur`` the span's wall-clock, ``sid``/``parent``
+  the span ids that recover the tree, ``depth`` the nesting level on
+  this thread.
+
+* **event** — an instant (zero-duration) marker from :func:`trace_event`,
+  same fields minus ``dur``; the supervisor uses these for every
+  retry/degradation/alarm decision.
+
+Sinks:
+
+* :class:`RingBufferSink` — last-N events in memory, for tests and
+  interactive inspection (``repro.obs.ring_events()``);
+* :class:`FileSink` — append-only JSON-lines file.  Each record is
+  written as **one** ``write()`` call and flushed, so a SIGKILL can lose
+  or truncate at most the final line; :func:`read_trace` tolerates
+  exactly that (and refuses to silently skip corruption elsewhere
+  unless asked), mirroring the atomic-write conventions of
+  :mod:`repro.ioutil` for append-style files.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "FileSink",
+    "RingBufferSink",
+    "TraceReadResult",
+    "Tracer",
+    "read_trace",
+]
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._events: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def write(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._events.append(record)
+
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def close(self) -> None:  # interface parity with FileSink
+        pass
+
+
+class FileSink:
+    """Append JSON-lines records to ``path``, one flushed write per record.
+
+    The file is opened lazily (first record) and appended to, so several
+    tool invocations can share one trace file.  Writing a full line per
+    ``write()`` + flush bounds crash damage to one truncated final line,
+    which :func:`read_trace` is specified to tolerate.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._fh: Optional[io.TextIOWrapper] = None
+        self._lock = threading.Lock()
+
+    def write(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._fh is None:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line)
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+class _SpanStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[int] = []
+
+
+class Tracer:
+    """Emit spans and events to a set of sinks.
+
+    All methods are cheap no-ops while ``sinks`` is empty; the global
+    tracer behind :func:`repro.obs.trace_span` additionally sits behind
+    the master enable flag, so disabled builds never reach here.
+    """
+
+    def __init__(self) -> None:
+        self.sinks: List[Any] = []
+        self._epoch = time.perf_counter()
+        self._ids = threading.local()
+        self._next_sid = 0
+        self._sid_lock = threading.Lock()
+        self._spans = _SpanStack()
+
+    # -- plumbing -------------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        if sink in self.sinks:
+            self.sinks.remove(sink)
+
+    def clear_sinks(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+        self.sinks = []
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.write(record)
+
+    def _new_sid(self) -> int:
+        with self._sid_lock:
+            self._next_sid += 1
+            return self._next_sid
+
+    def now(self) -> float:
+        """Monotonic seconds since the tracer's epoch."""
+        return time.perf_counter() - self._epoch
+
+    # -- recording ------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Dict[str, Any]]:
+        """Time a region; emits one span record on exit.
+
+        Yields the ``attrs`` dict, so the body can attach results
+        computed inside the span (e.g. per-level timings)::
+
+            with tracer.span("engine.execute", netlist=net.name) as a:
+                ...
+                a["levels"] = plan.n_levels
+        """
+        stack = self._spans.stack
+        sid = self._new_sid()
+        parent = stack[-1] if stack else None
+        stack.append(sid)
+        start = time.perf_counter()
+        try:
+            yield attrs
+        finally:
+            dur = time.perf_counter() - start
+            stack.pop()
+            self._emit({
+                "type": "span",
+                "name": name,
+                "ts": round(start - self._epoch, 9),
+                "dur": round(dur, 9),
+                "sid": sid,
+                "parent": parent,
+                "depth": len(stack),
+                "tid": threading.get_ident(),
+                "attrs": attrs,
+            })
+
+    def event(self, name: str, **attrs) -> None:
+        """Emit an instant event (decision points, alarms, quarantines)."""
+        stack = self._spans.stack
+        self._emit({
+            "type": "event",
+            "name": name,
+            "ts": round(self.now(), 9),
+            "sid": self._new_sid(),
+            "parent": stack[-1] if stack else None,
+            "depth": len(stack),
+            "tid": threading.get_ident(),
+            "attrs": attrs,
+        })
+
+
+class TraceReadResult:
+    """Events parsed from a trace file plus what was tolerated.
+
+    ``truncated`` is True when the file's final line was cut short (the
+    crash-safe sink's only legal damage mode); ``corrupt`` counts any
+    *non-final* undecodable lines skipped in lenient mode.
+    """
+
+    def __init__(self, events: List[Dict[str, Any]],
+                 truncated: bool, corrupt: int) -> None:
+        self.events = events
+        self.truncated = truncated
+        self.corrupt = corrupt
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def read_trace(path, strict: bool = True) -> TraceReadResult:
+    """Parse a JSON-lines trace file, tolerating a truncated final line.
+
+    A file last written by :class:`FileSink` and killed mid-write ends
+    in at most one partial line; that line is silently dropped and
+    flagged via :attr:`TraceReadResult.truncated`.  A bad line anywhere
+    *else* means real corruption: with ``strict=True`` (default) it
+    raises ``ValueError``; with ``strict=False`` it is skipped and
+    counted in :attr:`TraceReadResult.corrupt`.
+    """
+    events: List[Dict[str, Any]] = []
+    bad: List[Tuple[int, str]] = []
+    with open(os.fspath(path), "r", encoding="utf-8", errors="replace") as fh:
+        lines = fh.readlines()
+    last_index = len(lines) - 1
+    truncated = False
+    corrupt = 0
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+            if not isinstance(record, dict):
+                raise ValueError("trace records must be JSON objects")
+        except ValueError:
+            if i == last_index:
+                truncated = True  # the one damage mode FileSink permits
+                continue
+            if strict:
+                raise ValueError(
+                    f"{path}: corrupt trace record on line {i + 1} "
+                    f"(not the final line — not SIGKILL truncation)"
+                )
+            corrupt += 1
+            bad.append((i + 1, stripped[:80]))
+            continue
+        events.append(record)
+    return TraceReadResult(events, truncated, corrupt)

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..circuits.checkers import CheckedNetlist, OutputChecker, build_output_checker, with_checkers
 from ..circuits.simulate import simulate, simulate_interpreted
 from ..errors import BuildError, CheckerAlarm, DeadlineExceeded, ReproError, SimulationError
@@ -274,9 +275,52 @@ class Supervisor:
             return arr.copy(), report
         n = next_power_of_two(max(arr.size, 4 if self.network == "fish" else 2))
         padded = np.concatenate([arr, np.ones(n - arr.size, dtype=np.uint8)])
-        data, report = self._supervise(padded, pipelined, started)
+        if obs.OBS.enabled:
+            with obs.OBS.tracer.span(
+                "supervisor.sort", network=self.network, n=int(arr.size)
+            ) as attrs:
+                data, report = self._supervise(padded, pipelined, started)
+                attrs.update(
+                    tier=report.tier,
+                    attempts=report.attempts,
+                    retries=report.retries,
+                    detections=list(report.detections),
+                    fell_back=report.fell_back,
+                    deadline_hits=report.deadline_hits,
+                )
+            self._record_metrics(report)
+        else:
+            data, report = self._supervise(padded, pipelined, started)
         self.stats.record(report)
         return data[: arr.size], report
+
+    def _record_metrics(self, report: CallReport) -> None:
+        """Fold one call's report into the global metrics registry
+        (only reached when :mod:`repro.obs` is enabled)."""
+        reg = obs.OBS.registry
+        net = self.network
+        reg.counter("repro_supervisor_calls_total",
+                    "Supervised sorts by accepted tier",
+                    network=net, tier=report.tier).inc()
+        if report.fell_back:
+            reg.counter("repro_supervisor_fallbacks_total",
+                        "Calls resolved below the first tier",
+                        network=net, tier=report.tier).inc()
+        if report.retries:
+            reg.counter("repro_supervisor_retries_total",
+                        "Attempts beyond the first per tier",
+                        network=net).inc(report.retries)
+        if report.deadline_hits:
+            reg.counter("repro_supervisor_deadline_hits_total",
+                        "Attempts killed by the deadline",
+                        network=net).inc(report.deadline_hits)
+        for alarm in report.detections:
+            reg.counter("repro_supervisor_alarms_total",
+                        "Alarm detections by alarm name",
+                        network=net, alarm=alarm).inc()
+        reg.histogram("repro_supervisor_latency_seconds",
+                      "Wall-clock of supervised sorts",
+                      network=net).observe(report.latency_s)
 
     def _supervise(
         self, padded: np.ndarray, pipelined: bool, started: float
@@ -289,12 +333,19 @@ class Supervisor:
             t for t in policy.tiers
             if not (self.network == "fish" and t == "interpreter")
         ]
+        # All trace_event calls are no-ops unless repro.obs is enabled;
+        # they journal every decision the retry/degradation ladder takes.
         for tier_index, tier in enumerate(tiers):
+            if tier_index:
+                obs.trace_event("supervisor.degrade", network=self.network,
+                                to_tier=tier, attempts=attempts)
             delay = policy.backoff_s
             for attempt in range(policy.max_retries + 1):
                 attempts += 1
                 if attempt:
                     retries += 1
+                    obs.trace_event("supervisor.retry", network=self.network,
+                                    tier=tier, attempt=attempt, delay_s=delay)
                     if delay > 0:
                         time.sleep(delay)
                     delay *= policy.backoff_factor
@@ -310,17 +361,31 @@ class Supervisor:
                         deadline_hits=deadline_hits,
                         latency_s=time.perf_counter() - started,
                     )
+                    obs.trace_event("supervisor.accept", network=self.network,
+                                    tier=tier, attempts=attempts)
                     return data, report
                 except CheckerAlarm as exc:
                     detections.extend(exc.alarms)
                     last_error = exc
+                    obs.trace_event("supervisor.alarm", network=self.network,
+                                    tier=tier, attempt=attempt,
+                                    alarms=list(exc.alarms))
                 except DeadlineExceeded as exc:
                     deadline_hits += 1
                     last_error = exc
+                    obs.trace_event("supervisor.deadline",
+                                    network=self.network, tier=tier,
+                                    attempt=attempt,
+                                    budget_s=policy.deadline_s)
                 except (SimulationError, RuntimeError) as exc:
                     last_error = exc
+                    obs.trace_event("supervisor.error", network=self.network,
+                                    tier=tier, attempt=attempt,
+                                    error=repr(exc))
         # Every tier (including behavioral) failed — propagate the last
         # cause wrapped in the structured hierarchy.
+        obs.trace_event("supervisor.exhausted", network=self.network,
+                        attempts=attempts, error=repr(last_error))
         if isinstance(last_error, ReproError):
             raise last_error
         raise SimulationError(f"supervised sort failed: {last_error!r}")

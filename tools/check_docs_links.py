@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Usage::
+
+    python tools/check_docs_links.py [--root DIR] [--verbose]
+
+Scans every top-level ``*.md`` file plus ``docs/*.md`` under the root
+(default: the repository) for markdown links and images.  A link is
+checked when it is *relative* — ``http(s)://``, ``mailto:`` and pure
+in-page ``#anchor`` targets are skipped — by resolving it against the
+containing file's directory and requiring the target file or directory
+to exist (any ``#anchor`` suffix is stripped first).
+
+Exit status: 0 when every relative link resolves, 1 with one line per
+dead link otherwise.  CI runs this so documentation reshuffles cannot
+silently orphan references.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+#: The target group stops at the first unescaped ')' or whitespace
+#: (titles like (file.md "Title") keep only the path part).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)>\s]+)>?[^)]*\)")
+
+#: Schemes (or scheme-like prefixes) that are not filesystem targets.
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://", "data:")
+
+
+def iter_doc_files(root: pathlib.Path):
+    yield from sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def iter_links(text: str):
+    """Yield (line_number, target) for every inline link in ``text``."""
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path):
+    """Return a list of (lineno, target, resolved) dead links in one file."""
+    dead = []
+    for lineno, target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        bare = target.split("#", 1)[0]
+        if not bare:
+            continue
+        if bare.startswith("/"):
+            resolved = (root / bare.lstrip("/")).resolve()
+        else:
+            resolved = (path.parent / bare).resolve()
+        if not resolved.exists():
+            dead.append((lineno, target, resolved))
+    return dead
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).parent.parent,
+                        help="directory containing README.md and docs/")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every checked file and link count")
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    failures = 0
+    checked = 0
+    for path in iter_doc_files(root):
+        dead = check_file(path, root)
+        checked += 1
+        if args.verbose:
+            n_links = sum(1 for _ in iter_links(path.read_text(encoding="utf-8")))
+            print(f"  {path.relative_to(root)}: {n_links} links")
+        for lineno, target, resolved in dead:
+            failures += 1
+            print(f"DEAD LINK {path.relative_to(root)}:{lineno}: "
+                  f"({target}) -> {resolved}")
+    if failures:
+        print(f"{failures} dead links across {checked} files")
+        return 1
+    if args.verbose or checked:
+        print(f"ok: {checked} markdown files, no dead relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,6 +66,13 @@ exponential-backoff retries; an item that keeps failing is *quarantined*
 — recorded (id, error, attempts) in the checkpoint's ``quarantine``
 list and never re-run — so one pathological (network, n, fault) cannot
 hang or crash a whole campaign.
+
+``--trace FILE`` enables :mod:`repro.obs` and appends a JSON-lines trace
+(one ``campaign.item`` span per fault set, quarantine events, engine
+spans and switch-activity summaries underneath); ``--metrics FILE``
+exports the metrics registry on exit (Prometheus text when the name ends
+in ``.prom``, JSON otherwise).  Read traces with
+``tools/trace_report.py``; see docs/OBSERVABILITY.md.
 """
 
 import argparse
@@ -375,6 +382,11 @@ def main(argv=None) -> int:
                         help="retries (with exponential backoff) before quarantining an item")
     parser.add_argument("--item-backoff", type=float, default=0.05,
                         help="initial retry backoff in seconds")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        help="enable repro.obs and append a JSON-lines trace here")
+    parser.add_argument("--metrics", type=pathlib.Path, default=None,
+                        help="export the metrics registry on exit "
+                             "(.prom => Prometheus text, else JSON)")
     parser.add_argument("--seed", type=int, default=0xFA17)
     parser.add_argument("--out", type=pathlib.Path, default=pathlib.Path("FAULTS.json"))
     parser.add_argument("--checkpoint-every", type=int, default=20)
@@ -394,9 +406,13 @@ def main(argv=None) -> int:
             return 2
     args.faults = faults
 
+    import repro.obs as obs
     from repro.analysis.resilience import SILENT, format_resilience_table, summarize
-    from repro.ioutil import atomic_write_json
+    from repro.ioutil import atomic_write_json, atomic_write_text
     from repro.runtime.guard import run_guarded
+
+    if args.trace or args.metrics:
+        obs.enable(trace_path=args.trace)
 
     meta = {
         "version": FORMAT_VERSION,
@@ -438,32 +454,43 @@ def main(argv=None) -> int:
     def emit(record):
         records.append(record)
         done.add(record["id"])
+        if obs.enabled():
+            obs.counter("repro_campaign_records_total",
+                        "Fault-campaign records by (network, outcome).",
+                        network=record["network"],
+                        outcome=record["outcome"]).inc()
         state["since_checkpoint"] += 1
         if state["since_checkpoint"] >= args.checkpoint_every:
             checkpoint()
 
     def run_item(rid, fn):
         """One campaign item under deadline + retry; quarantine on
-        persistent failure instead of killing the whole campaign."""
-        try:
-            run_guarded(
-                fn,
-                timeout_s=args.item_timeout or None,
-                retries=max(args.item_retries, 0),
-                backoff_s=args.item_backoff,
-                what=rid,
-            )
-        except KeyboardInterrupt:
-            raise
-        except Exception as exc:
-            quarantine.append({
-                "id": rid,
-                "error": repr(exc),
-                "attempts": max(args.item_retries, 0) + 1,
-            })
-            done.add(rid)
-            print(f"quarantined {rid}: {exc!r}")
-            checkpoint()
+        persistent failure instead of killing the whole campaign.
+        Each item is a ``campaign.item`` span when observability is on."""
+        with obs.trace_span("campaign.item", item=rid) as attrs:
+            try:
+                run_guarded(
+                    fn,
+                    timeout_s=args.item_timeout or None,
+                    retries=max(args.item_retries, 0),
+                    backoff_s=args.item_backoff,
+                    what=rid,
+                )
+                attrs["ok"] = True
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                attrs["ok"] = False
+                attrs["error"] = repr(exc)
+                quarantine.append({
+                    "id": rid,
+                    "error": repr(exc),
+                    "attempts": max(args.item_retries, 0) + 1,
+                })
+                done.add(rid)
+                obs.trace_event("campaign.quarantine", item=rid, error=repr(exc))
+                print(f"quarantined {rid}: {exc!r}")
+                checkpoint()
 
     from repro.core.mux_merger import build_mux_merger_sorter
     from repro.core.prefix_sorter import build_prefix_sorter
@@ -485,6 +512,14 @@ def main(argv=None) -> int:
         args.out,
         {"meta": meta, "records": records, "quarantine": quarantine, "summary": summary},
     )
+    if obs.enabled():
+        obs.flush_activity()
+        if args.metrics:
+            reg = obs.registry()
+            text = (reg.to_prometheus() if str(args.metrics).endswith(".prom")
+                    else reg.to_json())
+            atomic_write_text(args.metrics, text)
+            print(f"wrote {args.metrics}: {len(reg)} metric series")
     print(f"wrote {args.out}: {len(records)} records"
           + (f", {len(quarantine)} quarantined" if quarantine else ""))
     print()

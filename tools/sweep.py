@@ -5,6 +5,7 @@ Usage::
 
     python tools/sweep.py [--max-lg 12] [--out sweep.json]
     python tools/sweep.py --engine-bench [--out BENCH_engine.json]
+    python tools/sweep.py --max-lg 5 --trace trace.jsonl --metrics metrics.json
 
 The default mode emits one record per (network, n) with measured and
 claimed values — the raw data behind EXPERIMENTS.md, in machine-readable
@@ -19,13 +20,27 @@ Every (network, n) item runs under a per-item deadline with retry
 quarantined and recorded in a sibling ``<out>.quarantine.json`` (kept
 out of the main file so ``compare_sweeps.py`` record formats are
 unchanged), letting the rest of the sweep complete.
+
+``--trace FILE`` enables :mod:`repro.obs` and appends a JSON-lines trace
+(one ``sweep.item`` span per (network, n), ``engine.execute`` spans with
+per-level kernel timings underneath, quarantine events, and final
+``engine.activity`` switch-activity summaries) — read it with
+``tools/trace_report.py``.  ``--metrics FILE`` exports the metrics
+registry on exit (Prometheus text if the name ends in ``.prom``, JSON
+otherwise).  See docs/OBSERVABILITY.md.
 """
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
+
+# Allow `python tools/sweep.py` without an exported PYTHONPATH.
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if os.path.isdir(_SRC) and os.path.abspath(_SRC) not in map(os.path.abspath, sys.path):
+    sys.path.insert(0, os.path.abspath(_SRC))
 
 NETWORKS = [
     "prefix",
@@ -41,27 +56,35 @@ NETWORKS = [
 
 def _guarded_item(guard_args, label, fn, quarantine):
     """Run one sweep item under deadline + retry; on persistent failure
-    record it in ``quarantine`` and return None instead of raising."""
+    record it in ``quarantine`` and return None instead of raising.
+    Each item is a ``sweep.item`` span when observability is on."""
+    import repro.obs as obs
     from repro.runtime.guard import run_guarded
 
-    try:
-        return run_guarded(
-            fn,
-            timeout_s=guard_args.item_timeout or None,
-            retries=max(guard_args.item_retries, 0),
-            backoff_s=guard_args.item_backoff,
-            what=label,
-        )
-    except KeyboardInterrupt:
-        raise
-    except Exception as exc:
-        quarantine.append({
-            "id": label,
-            "error": repr(exc),
-            "attempts": max(guard_args.item_retries, 0) + 1,
-        })
-        print(f"quarantined {label}: {exc!r}")
-        return None
+    with obs.trace_span("sweep.item", item=label) as attrs:
+        try:
+            result = run_guarded(
+                fn,
+                timeout_s=guard_args.item_timeout or None,
+                retries=max(guard_args.item_retries, 0),
+                backoff_s=guard_args.item_backoff,
+                what=label,
+            )
+            attrs["ok"] = True
+            return result
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            attrs["ok"] = False
+            attrs["error"] = repr(exc)
+            quarantine.append({
+                "id": label,
+                "error": repr(exc),
+                "attempts": max(guard_args.item_retries, 0) + 1,
+            })
+            obs.trace_event("sweep.quarantine", item=label, error=repr(exc))
+            print(f"quarantined {label}: {exc!r}")
+            return None
 
 
 def run_sweep(max_lg: int, min_lg: int = 4, guard_args=None, quarantine=None) -> list:
@@ -188,6 +211,31 @@ def _engine_bench_item(builders, rng, name, n, rows, mode, floor) -> dict:
     return record
 
 
+def _obs_setup(args) -> None:
+    """Honour --trace/--metrics by switching repro.obs on."""
+    if getattr(args, "trace", None) or getattr(args, "metrics", None):
+        import repro.obs as obs
+
+        obs.enable(trace_path=args.trace)
+
+
+def _obs_finish(args) -> None:
+    """Flush activity summaries to the trace and export metrics."""
+    import repro.obs as obs
+
+    if not obs.enabled():
+        return
+    obs.flush_activity()
+    if getattr(args, "metrics", None):
+        from repro.ioutil import atomic_write_text
+
+        reg = obs.registry()
+        text = (reg.to_prometheus() if str(args.metrics).endswith(".prom")
+                else reg.to_json())
+        atomic_write_text(args.metrics, text)
+        print(f"wrote {args.metrics}: {len(reg)} metric series")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--max-lg", type=int, default=10)
@@ -203,10 +251,16 @@ def main(argv=None) -> int:
                         help="retries (with exponential backoff) before quarantining an item")
     parser.add_argument("--item-backoff", type=float, default=0.05,
                         help="initial retry backoff in seconds")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        help="enable repro.obs and append a JSON-lines trace here")
+    parser.add_argument("--metrics", type=pathlib.Path, default=None,
+                        help="export the metrics registry on exit "
+                             "(.prom => Prometheus text, else JSON)")
     parser.add_argument("--out", type=pathlib.Path, default=None)
     args = parser.parse_args(argv)
     from repro.ioutil import atomic_write_text
 
+    _obs_setup(args)
     quarantine = []
 
     def write_quarantine(out: pathlib.Path) -> None:
@@ -222,6 +276,7 @@ def main(argv=None) -> int:
         records = run_engine_bench(guard_args=args, quarantine=quarantine)
         atomic_write_text(out, json.dumps(records, indent=1))
         write_quarantine(out)
+        _obs_finish(args)
         print(f"wrote {out}: {len(records)} engine-bench records")
         return 0
     out = args.out or pathlib.Path("sweep.json")
@@ -231,6 +286,7 @@ def main(argv=None) -> int:
     records = run_sweep(args.max_lg, args.min_lg, guard_args=args, quarantine=quarantine)
     atomic_write_text(out, json.dumps(records, indent=1))
     write_quarantine(out)
+    _obs_finish(args)
     print(f"wrote {out}: {len(records)} records "
           f"({len(NETWORKS)} networks x n = 2^{args.min_lg}..2^{args.max_lg})")
     return 0

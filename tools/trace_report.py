@@ -1,0 +1,288 @@
+#!/usr/bin/env python
+"""Render a repro.obs JSON-lines trace as a human-readable report.
+
+Usage::
+
+    python tools/trace_report.py trace.jsonl [--top 10] [--json] [--lenient]
+
+Sections (each emitted only when the trace has the matching events):
+
+* **header** — event counts per record name, plus a warning when the
+  final line was truncated (a SIGKILLed writer loses at most one line;
+  the reader tolerates exactly that, see
+  :func:`repro.obs.tracing.read_trace`);
+* **hot levels** — per-netlist kernel time by (level, kind), aggregated
+  from the ``attrs["steps"]`` profile of every ``engine.execute`` span —
+  where the compiled engine actually spends its time;
+* **switch activity** — a text heatmap per netlist from
+  ``engine.activity`` summaries: one cell per level, intensity =
+  mean toggle fraction of the routing elements in that level; plus the
+  busiest elements and adaptive control wires (the empirical view of the
+  paper's Table I control behaviour);
+* **supervisor** — outcome table aggregated from ``supervisor.sort``
+  spans and ``supervisor.*`` decision events (accepts, fallbacks,
+  retries, alarms, deadline hits per network);
+* **items** — ``sweep.item`` / ``campaign.item`` span statistics and
+  every quarantine event.
+
+``--json`` dumps the aggregated report as JSON instead of text (for
+scripting); ``--lenient`` skips corrupt mid-file lines instead of
+failing.  Exit status: 0 on success, 2 on unreadable input.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+from collections import Counter, defaultdict
+
+# Allow `python tools/trace_report.py` without an exported PYTHONPATH.
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if os.path.isdir(_SRC) and os.path.abspath(_SRC) not in map(os.path.abspath, sys.path):
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+#: Heatmap intensity ramp, least to most active.
+RAMP = " .:-=+*#%@"
+
+
+def shade(frac: float) -> str:
+    """Map a toggle fraction in [0, 1] to one ramp character."""
+    frac = min(max(float(frac), 0.0), 1.0)
+    return RAMP[min(int(frac * len(RAMP)), len(RAMP) - 1)]
+
+
+def load_events(path, lenient: bool = False):
+    """Read the trace, tolerating a truncated final line."""
+    from repro.obs import read_trace
+
+    result = read_trace(path, strict=not lenient)
+    return result
+
+
+def hot_levels(events, top: int):
+    """Aggregate per-(netlist, level, kind) kernel seconds from
+    ``engine.execute`` spans."""
+    agg = defaultdict(lambda: defaultdict(lambda: [0.0, 0, 0]))
+    for ev in events:
+        if ev.get("name") != "engine.execute":
+            continue
+        attrs = ev.get("attrs", {})
+        net = attrs.get("netlist", "?")
+        for level, kind, dt, n_el in attrs.get("steps", ()):
+            cell = agg[net][(int(level), str(kind))]
+            cell[0] += float(dt)
+            cell[1] += 1
+            cell[2] = int(n_el)
+    out = {}
+    for net, cells in agg.items():
+        rows = [
+            {"level": lv, "kind": kind, "seconds": round(t, 6),
+             "calls": calls, "elements": n_el}
+            for (lv, kind), (t, calls, n_el) in cells.items()
+        ]
+        rows.sort(key=lambda r: -r["seconds"])
+        out[net] = rows[:top]
+    return out
+
+
+def activity_maps(events):
+    """Latest ``engine.activity`` summary per netlist (later wins —
+    counts are cumulative, so the last flush is the most complete)."""
+    latest = {}
+    for ev in events:
+        if ev.get("name") == "engine.activity":
+            attrs = ev.get("attrs", {})
+            latest[attrs.get("netlist", "?")] = attrs
+    return latest
+
+
+def supervisor_table(events):
+    """Per-network supervisor outcome aggregation."""
+    table = defaultdict(lambda: Counter())
+    alarms = defaultdict(Counter)
+    for ev in events:
+        name = ev.get("name", "")
+        attrs = ev.get("attrs", {})
+        if name == "supervisor.sort":
+            net = attrs.get("network", "?")
+            table[net]["calls"] += 1
+            table[net]["retries"] += int(attrs.get("retries", 0))
+            table[net]["deadline_hits"] += int(attrs.get("deadline_hits", 0))
+            if attrs.get("fell_back"):
+                table[net]["fallbacks"] += 1
+            tier = attrs.get("tier")
+            if tier:
+                table[net][f"tier:{tier}"] += 1
+            for alarm in attrs.get("detections", ()):
+                alarms[net][alarm] += 1
+        elif name.startswith("supervisor."):
+            kind = name.split(".", 1)[1]
+            net = attrs.get("network", "")
+            key = net or "-"
+            table[key][f"event:{kind}"] += 1
+    return (
+        {net: dict(c) for net, c in table.items()},
+        {net: dict(c) for net, c in alarms.items()},
+    )
+
+
+def item_stats(events):
+    """sweep.item / campaign.item span statistics + quarantine events."""
+    stats = {}
+    quarantined = []
+    for span_name in ("sweep.item", "campaign.item"):
+        spans = [ev for ev in events if ev.get("name") == span_name]
+        if not spans:
+            continue
+        durs = [float(ev.get("dur", 0.0)) for ev in spans]
+        failed = [ev for ev in spans if ev.get("attrs", {}).get("ok") is False]
+        stats[span_name] = {
+            "items": len(spans),
+            "failed": len(failed),
+            "total_s": round(sum(durs), 6),
+            "mean_s": round(sum(durs) / len(durs), 6),
+            "max_s": round(max(durs), 6),
+            "slowest": max(spans, key=lambda ev: float(ev.get("dur", 0.0)))
+                       .get("attrs", {}).get("item"),
+        }
+    for ev in events:
+        if ev.get("name") in ("sweep.quarantine", "campaign.quarantine"):
+            quarantined.append(ev.get("attrs", {}))
+    return stats, quarantined
+
+
+def build_report(events, truncated: bool, corrupt: int, top: int) -> dict:
+    sup_table, sup_alarms = supervisor_table(events)
+    stats, quarantined = item_stats(events)
+    return {
+        "events": len(events),
+        "truncated_tail": bool(truncated),
+        "corrupt_lines_skipped": int(corrupt),
+        "counts": dict(Counter(ev.get("name", "?") for ev in events)),
+        "hot_levels": hot_levels(events, top),
+        "activity": activity_maps(events),
+        "supervisor": sup_table,
+        "supervisor_alarms": sup_alarms,
+        "items": stats,
+        "quarantined": quarantined,
+    }
+
+
+def _print_header(report) -> None:
+    print(f"trace: {report['events']} events")
+    if report["truncated_tail"]:
+        print("  note: final line truncated (in-flight write at kill) — dropped")
+    if report["corrupt_lines_skipped"]:
+        print(f"  note: {report['corrupt_lines_skipped']} corrupt lines skipped")
+    for name, count in sorted(report["counts"].items()):
+        print(f"  {name:<24} {count}")
+
+
+def _print_hot_levels(report, top: int) -> None:
+    if not report["hot_levels"]:
+        return
+    print("\nhot levels (kernel seconds by level, kind)")
+    for net, rows in sorted(report["hot_levels"].items()):
+        total = sum(r["seconds"] for r in rows) or 1.0
+        print(f"  {net}:")
+        for r in rows[:top]:
+            bar = "#" * max(1, int(20 * r["seconds"] / total))
+            print(f"    L{r['level']:<3} {r['kind']:<12} "
+                  f"{r['seconds']:.6f}s x{r['calls']:<4} "
+                  f"({r['elements']} elems) {bar}")
+
+
+def _print_activity(report, top: int) -> None:
+    if not report["activity"]:
+        return
+    print("\nswitch activity (mean toggle fraction per level; ramp '"
+          + RAMP + "')")
+    for net, summary in sorted(report["activity"].items()):
+        levels = summary.get("levels", [])
+        cells = "".join(shade(lv.get("mean_frac", 0.0)) for lv in levels)
+        print(f"  {net} ({summary.get('lanes', 0)} lanes, "
+              f"{summary.get('switching_elements', 0)} switching elements): "
+              f"[{cells}]")
+        for el in summary.get("top_elements", [])[:top]:
+            print(f"    element #{el['element']:<5} {el['kind']:<12} "
+                  f"L{el['level']:<3} crossed {el['frac']:.3f}")
+        wires = summary.get("top_wires", [])[:top]
+        if wires:
+            line = ", ".join(f"w{w['wire']}={w['frac']:.3f}" for w in wires)
+            print(f"    busiest control wires: {line}")
+
+
+def _print_supervisor(report) -> None:
+    if not report["supervisor"]:
+        return
+    print("\nsupervisor outcomes")
+    for net, counts in sorted(report["supervisor"].items()):
+        base = {k: v for k, v in counts.items()
+                if not k.startswith(("tier:", "event:"))}
+        print(f"  {net}: " + ", ".join(f"{k}={v}" for k, v in sorted(base.items())))
+        tiers = {k[5:]: v for k, v in counts.items() if k.startswith("tier:")}
+        if tiers:
+            print("    accepted tiers: "
+                  + ", ".join(f"{t}={c}" for t, c in sorted(tiers.items())))
+        evs = {k[6:]: v for k, v in counts.items() if k.startswith("event:")}
+        if evs:
+            print("    decisions: "
+                  + ", ".join(f"{t}={c}" for t, c in sorted(evs.items())))
+        alarms = report["supervisor_alarms"].get(net)
+        if alarms:
+            print("    alarms: "
+                  + ", ".join(f"{a}={c}" for a, c in sorted(alarms.items())))
+
+
+def _print_items(report) -> None:
+    if not (report["items"] or report["quarantined"]):
+        return
+    print("\nitems")
+    for span, s in sorted(report["items"].items()):
+        print(f"  {span}: {s['items']} items ({s['failed']} failed), "
+              f"total {s['total_s']:.3f}s, mean {s['mean_s']:.4f}s, "
+              f"max {s['max_s']:.4f}s ({s['slowest']})")
+    for q in report["quarantined"]:
+        print(f"  QUARANTINED {q.get('item')}: {q.get('error')}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=pathlib.Path,
+                        help="JSON-lines trace file written by repro.obs")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows per ranking section")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the aggregated report as JSON")
+    parser.add_argument("--lenient", action="store_true",
+                        help="skip corrupt mid-file lines instead of failing")
+    args = parser.parse_args(argv)
+
+    try:
+        result = load_events(args.trace, lenient=args.lenient)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    report = build_report(
+        result.events, result.truncated, result.corrupt, args.top
+    )
+    if args.json:
+        print(json.dumps(report, indent=1))
+        return 0
+    _print_header(report)
+    _print_hot_levels(report, args.top)
+    _print_activity(report, args.top)
+    _print_supervisor(report)
+    _print_items(report)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Reader (e.g. `| head`, `| grep -q`) closed the pipe early;
+        # that is not an error for a report tool.
+        sys.stderr.close()
+        raise SystemExit(0)
