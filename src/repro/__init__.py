@@ -48,6 +48,7 @@ from .core import (
     make_sorter,
     set_cache_limit,
     sort_bits,
+    sort_bits_many,
 )
 from .networks import (
     BenesNetwork,
@@ -92,5 +93,6 @@ __all__ = [
     "runtime",
     "set_cache_limit",
     "sort_bits",
+    "sort_bits_many",
     "viz",
 ]

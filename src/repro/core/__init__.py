@@ -13,7 +13,8 @@ k-way machinery).
 """
 
 from .api import (cache_info, clear_cache, make_sorter,
-                  next_power_of_two, set_cache_limit, sort_bits)
+                  next_power_of_two, set_cache_limit, sort_bits,
+                  sort_bits_many)
 from .balanced_merge import (
     balanced_merge_behavioral,
     balanced_merging_block,
@@ -113,5 +114,6 @@ __all__ = [
     "set_cache_limit",
     "shuffle_concat",
     "sort_bits",
+    "sort_bits_many",
     "sorted_sequence",
 ]

@@ -67,7 +67,15 @@ from .activity import (
     summarize_profile,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .tracing import FileSink, RingBufferSink, TraceReadResult, Tracer, read_trace
+from .tracing import (
+    FileSink,
+    RingBufferSink,
+    TraceReadResult,
+    Tracer,
+    merge_shards,
+    read_trace,
+    shard_paths,
+)
 
 __all__ = [
     "ActivityProfile",
@@ -88,7 +96,11 @@ __all__ = [
     "enabled",
     "flush_activity",
     "histogram",
+    "merge_shards",
+    "merge_trace_shards",
     "read_trace",
+    "shard_paths",
+    "trace_paths",
     "record_execution",
     "registry",
     "reset",
@@ -213,6 +225,24 @@ def trace_event(name: str, **attrs) -> None:
 def ring_events() -> List[Dict[str, Any]]:
     """Records currently held by the in-memory ring sink."""
     return OBS.ring.events() if OBS.ring is not None else []
+
+
+def trace_paths() -> List[str]:
+    """Base paths of every :class:`FileSink` attached to the tracer."""
+    return [
+        s._base_path for s in OBS.tracer.sinks if isinstance(s, FileSink)
+    ]
+
+
+def merge_trace_shards(remove: bool = True) -> int:
+    """Fold forked workers' per-pid trace shards into every attached
+    :class:`FileSink`'s base file (see :func:`tracing.merge_shards`).
+    The parent of a :mod:`repro.parallel` pool calls this after the
+    workers exit; returns the number of records merged."""
+    merged = 0
+    for base in trace_paths():
+        merged += merge_shards(base, remove=remove)
+    return merged
 
 
 # -- activity conveniences ----------------------------------------------------

@@ -215,6 +215,75 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics.items(), key=lambda kv: kv[0])
 
+    # -- cross-process merging ------------------------------------------------
+
+    def dump_state(self) -> List[Dict[str, object]]:
+        """Structured, picklable state for cross-process merging.
+
+        Worker processes (see :mod:`repro.parallel`) dump their private
+        registry on exit and ship it to the parent, which folds it in
+        with :meth:`merge_state` — counters and histograms *add*,
+        gauges take the incoming value (last writer wins).
+        """
+        out: List[Dict[str, object]] = []
+        for (name, pairs), inst in self._sorted_items():
+            entry: Dict[str, object] = {
+                "name": name,
+                "kind": inst.kind,
+                "labels": dict(pairs),
+                "help": self._help.get(name, ""),
+            }
+            if isinstance(inst, Histogram):
+                entry["bounds"] = list(inst.bounds)
+                entry["bucket_counts"] = list(inst.bucket_counts)
+                entry["count"] = inst.count
+                entry["sum"] = inst.sum
+            else:
+                entry["value"] = inst.value
+            out.append(entry)
+        return out
+
+    def merge_state(self, state: Iterable[Dict[str, object]]) -> None:
+        """Fold a :meth:`dump_state` payload from another process in.
+
+        Counter values and histogram bucket counts are added; gauges are
+        overwritten.  A histogram whose bucket bounds disagree with the
+        local instrument's raises ``ValueError`` (merging incompatible
+        buckets would corrupt both).
+        """
+        for entry in state:
+            name = str(entry["name"])
+            kind = entry.get("kind", "counter")
+            labels = dict(entry.get("labels", {}))
+            help_text = str(entry.get("help", ""))
+            if kind == "counter":
+                self.counter(name, help_text, **labels).inc(
+                    float(entry.get("value", 0.0))
+                )
+            elif kind == "gauge":
+                self.gauge(name, help_text, **labels).set(
+                    float(entry.get("value", 0.0))
+                )
+            elif kind == "histogram":
+                bounds = tuple(float(b) for b in entry.get("bounds", ()))
+                hist = self.histogram(
+                    name, help_text, buckets=bounds or None, **labels
+                )
+                if hist.bounds != (bounds or hist.bounds):
+                    raise ValueError(
+                        f"histogram {name!r}: incompatible bucket bounds "
+                        f"{bounds} vs {hist.bounds}"
+                    )
+                counts = [int(c) for c in entry.get("bucket_counts", ())]
+                with self._lock:
+                    if len(counts) == len(hist.bucket_counts):
+                        for i, c in enumerate(counts):
+                            hist.bucket_counts[i] += c
+                    hist.count += int(entry.get("count", 0))
+                    hist.sum += float(entry.get("sum", 0.0))
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+
     # -- exporters ------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:

@@ -29,10 +29,22 @@ Sinks:
   exactly that (and refuses to silently skip corruption elsewhere
   unless asked), mirroring the atomic-write conventions of
   :mod:`repro.ioutil` for append-style files.
+
+  The sink is **fork-aware**: a ``write()`` from a process other than
+  the one that last wrote detects the ``os.getpid()`` change, abandons
+  the inherited file handle (never closing it — the parent owns those
+  buffered bytes), and reopens a per-pid *shard* next to the parent
+  file (``trace.jsonl`` → ``trace.jsonl.shard-<pid>``), so forked
+  workers can never interleave or duplicate lines in the parent's
+  trace.  :func:`merge_shards` folds shards back into the parent file;
+  the sink also registers an ``atexit`` flush/close so a process that
+  exits without ``obs.reset()`` cannot strand an open handle.
 """
 
 from __future__ import annotations
 
+import atexit
+import glob as _glob
 import io
 import json
 import os
@@ -47,7 +59,9 @@ __all__ = [
     "RingBufferSink",
     "TraceReadResult",
     "Tracer",
+    "merge_shards",
     "read_trace",
+    "shard_paths",
 ]
 
 
@@ -81,16 +95,42 @@ class FileSink:
     tool invocations can share one trace file.  Writing a full line per
     ``write()`` + flush bounds crash damage to one truncated final line,
     which :func:`read_trace` is specified to tolerate.
+
+    Fork safety: the sink remembers which pid it writes for.  When a
+    forked child inherits it and writes, the pid mismatch is detected
+    and the child transparently switches to a per-pid shard file
+    (:meth:`shard_path`); the inherited handle is abandoned *without*
+    closing (a close could flush parent-owned buffered bytes a second
+    time).  Closing is also registered with :mod:`atexit`, so every
+    process — parent or forked worker — flushes and releases its handle
+    on interpreter exit even when nobody calls :func:`repro.obs.reset`.
     """
 
     def __init__(self, path) -> None:
         self.path = os.fspath(path)
+        self._base_path = self.path
+        self._pid = os.getpid()
         self._fh: Optional[io.TextIOWrapper] = None
         self._lock = threading.Lock()
+        atexit.register(self.close)
+
+    @staticmethod
+    def shard_path(base, pid: int) -> str:
+        """Per-pid shard file used by forked writers of ``base``."""
+        return f"{os.fspath(base)}.shard-{pid}"
 
     def write(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, separators=(",", ":")) + "\n"
         with self._lock:
+            pid = os.getpid()
+            if pid != self._pid:
+                # Forked child: the parent owns the inherited handle and
+                # its file position.  Abandon it (no close — see class
+                # docstring) and write this process's records to a
+                # sibling shard instead.
+                self._fh = None
+                self._pid = pid
+                self.path = self.shard_path(self._base_path, pid)
             if self._fh is None:
                 directory = os.path.dirname(self.path)
                 if directory:
@@ -101,9 +141,9 @@ class FileSink:
 
     def close(self) -> None:
         with self._lock:
-            if self._fh is not None:
+            if self._fh is not None and os.getpid() == self._pid:
                 self._fh.close()
-                self._fh = None
+            self._fh = None
 
 
 class _SpanStack(threading.local):
@@ -264,3 +304,35 @@ def read_trace(path, strict: bool = True) -> TraceReadResult:
             continue
         events.append(record)
     return TraceReadResult(events, truncated, corrupt)
+
+
+def shard_paths(path) -> List[str]:
+    """Existing per-pid shard files for the trace file ``path``."""
+    return sorted(_glob.glob(os.fspath(path) + ".shard-*"))
+
+
+def merge_shards(path, remove: bool = True) -> int:
+    """Fold per-pid fork shards back into the parent trace file.
+
+    Reads every ``<path>.shard-<pid>`` leniently (a SIGKILLed worker may
+    leave a truncated final line), appends the surviving records to
+    ``path`` in shard order, and (by default) deletes the shards.
+    Returns the number of records merged.  Safe to call while a
+    :class:`FileSink` still holds ``path`` open: both writers use
+    append mode.
+    """
+    base = os.fspath(path)
+    merged = 0
+    for shard in shard_paths(base):
+        result = read_trace(shard, strict=False)
+        if result.events:
+            with open(base, "a", encoding="utf-8") as fh:
+                for event in result.events:
+                    fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+            merged += len(result.events)
+        if remove:
+            try:
+                os.unlink(shard)
+            except OSError:
+                pass
+    return merged

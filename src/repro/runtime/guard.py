@@ -7,26 +7,62 @@ and the campaign tools (``tools/fault_campaign.py``, ``tools/sweep.py``):
   via ``signal.setitimer`` and raising
   :class:`~repro.errors.DeadlineExceeded` when it expires.  POSIX signal
   delivery only works on the main thread; elsewhere (or on platforms
-  without ``setitimer``) the guard degrades to a no-op rather than
-  failing — supervision is best-effort by design, never a new crash
-  source.
+  without ``setitimer``) the guard degrades to an *announced* no-op —
+  a one-time :class:`RuntimeWarning` plus a ``guard.unguarded`` trace
+  event — rather than failing: supervision is best-effort by design,
+  never a new crash source, but it must never be *silently* absent
+  either.
 * :func:`run_guarded` — call a function under a per-attempt deadline
   with bounded retry and exponential backoff.  This is what lets one
   pathological ``(network, n, fault)`` item stall for at most
   ``timeout_s * (retries + 1)`` instead of hanging a whole campaign.
+  Pass a ``report`` dict to learn whether the deadline could actually
+  preempt (``report["guarded"]``) and how many attempts ran.
+
+Signal-delivery correctness
+---------------------------
+
+A SIGALRM handler that simply raises has a real failure mode: if the
+alarm fires while CPython is executing a frame that cannot propagate
+exceptions — a ``gc.callbacks`` hook, a ``__del__`` finalizer, a weakref
+callback — the raised :class:`DeadlineExceeded` is discarded through
+``sys.unraisablehook`` and the deadline is silently lost (observed in
+tier-1 runs as ``PytestUnraisableExceptionWarning`` from hypothesis's
+GC callback).  :func:`time_limit` therefore:
+
+1. checks the interrupted frame stack from the handler and *defers*
+   (re-arms a short one-shot itimer instead of raising) when a
+   finalizer/GC-callback frame is live — the alarm keeps refiring until
+   a raise can land in the guarded frame;
+2. records expiry in a flag that is checked when the guarded body
+   completes, so even a raise that *was* swallowed somewhere can never
+   make the deadline disappear.
 """
 
 from __future__ import annotations
 
+import gc
 import signal
 import threading
 import time
+import warnings
 from contextlib import contextmanager
-from typing import Callable, Optional, Tuple, Type
+from typing import Callable, Dict, Optional, Tuple, Type
 
 from ..errors import DeadlineExceeded
 
-__all__ = ["time_limit", "run_guarded", "deadline_supported"]
+__all__ = ["deadline_supported", "run_guarded", "time_limit"]
+
+#: One-shot itimer interval used when a deadline fired inside a frame
+#: that cannot propagate exceptions: refire quickly until the raise can
+#: land in the guarded frame.
+REARM_INTERVAL_S = 0.001
+
+#: Frames whose code has one of these names swallow exceptions raised
+#: into them (CPython reports them as "unraisable" instead).
+_UNRAISABLE_CO_NAMES = frozenset({"__del__", "__delete__"})
+
+_UNGUARDED_WARNED = False
 
 
 def deadline_supported() -> bool:
@@ -38,25 +74,105 @@ def deadline_supported() -> bool:
     )
 
 
+def _note_unguarded(what: str) -> None:
+    """Announce that a requested deadline cannot be enforced here.
+
+    Emits a ``guard.unguarded`` trace event every time (so campaign
+    traces show exactly which items ran without a budget) and a
+    :class:`RuntimeWarning` once per process (so interactive users see
+    it without being drowned).
+    """
+    global _UNGUARDED_WARNED
+    from .. import obs
+
+    obs.trace_event(
+        "guard.unguarded",
+        what=what,
+        main_thread=threading.current_thread() is threading.main_thread(),
+        has_itimer=hasattr(signal, "setitimer"),
+    )
+    if not _UNGUARDED_WARNED:
+        _UNGUARDED_WARNED = True
+        warnings.warn(
+            f"time_limit({what!r}): deadline cannot preempt here "
+            "(signal.setitimer unavailable or not on the main thread); "
+            "the operation runs unguarded",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+
+def _reset_unguarded_warning() -> None:
+    """Re-arm the one-time unguarded warning (test isolation hook)."""
+    global _UNGUARDED_WARNED
+    _UNGUARDED_WARNED = False
+
+
+def _unraisable_frame(frame) -> bool:
+    """Would an exception raised into ``frame`` be discarded?
+
+    True when the interrupted frame (or a close ancestor) is a
+    ``gc.callbacks`` hook or a finalizer — contexts where CPython routes
+    a propagating exception to ``sys.unraisablehook`` instead of the
+    caller.  Conservative and cheap: checks code-object identity for
+    registered GC callbacks and well-known finalizer names.
+    """
+    gc_codes = {
+        cb.__code__ for cb in gc.callbacks if hasattr(cb, "__code__")
+    }
+    depth = 0
+    while frame is not None and depth < 16:
+        code = frame.f_code
+        if code in gc_codes or code.co_name in _UNRAISABLE_CO_NAMES:
+            return True
+        frame = frame.f_back
+        depth += 1
+    return False
+
+
 @contextmanager
 def time_limit(budget_s: Optional[float], what: str = "operation"):
     """Raise :class:`DeadlineExceeded` if the body runs past ``budget_s``.
 
     ``budget_s`` of ``None`` (or <= 0) disables the guard.  Off the main
-    thread, or without ``signal.setitimer``, the guard is a no-op: the
-    caller still gets the result, just without preemption.
+    thread, or without ``signal.setitimer``, the guard cannot preempt:
+    it announces itself (one-time :class:`RuntimeWarning` plus a
+    ``guard.unguarded`` trace event) and lets the body run unguarded.
+
+    Expiry is never lost: a SIGALRM that lands inside a GC callback or
+    finalizer frame is deferred (short itimer re-arm) until it can be
+    raised into the guarded frame, and if every raise was swallowed the
+    deadline still surfaces when the body completes.
     """
-    if budget_s is None or budget_s <= 0 or not deadline_supported():
+    if budget_s is None or budget_s <= 0:
+        yield
+        return
+    if not deadline_supported():
+        _note_unguarded(what)
         yield
         return
 
+    state = {"expired": False}
+
     def _expire(signum, frame):
+        state["expired"] = True
+        if _unraisable_frame(frame):
+            # Raising here would be discarded as "unraisable" and the
+            # deadline silently lost.  Defer: refire shortly, by which
+            # time the finalizer/GC callback has usually returned.
+            signal.setitimer(signal.ITIMER_REAL, REARM_INTERVAL_S)
+            return
         raise DeadlineExceeded(budget_s, what)
 
     previous = signal.signal(signal.SIGALRM, _expire)
     signal.setitimer(signal.ITIMER_REAL, budget_s)
     try:
         yield
+        if state["expired"]:
+            # The alarm fired but its raise never reached us (deferred
+            # past the body's end, or swallowed by an intervening
+            # frame).  The budget is spent: surface it now.
+            raise DeadlineExceeded(budget_s, what)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
@@ -72,6 +188,7 @@ def run_guarded(
     what: Optional[str] = None,
     retry_on: Tuple[Type[BaseException], ...] = (Exception,),
     sleep: Callable[[float], None] = time.sleep,
+    report: Optional[Dict[str, object]] = None,
     **kwargs,
 ):
     """Run ``fn(*args, **kwargs)`` under a per-attempt deadline, retrying
@@ -84,16 +201,29 @@ def run_guarded(
     :class:`DeadlineExceeded` subclasses :class:`TimeoutError`, so
     timeouts are retried by the default ``retry_on`` and still
     distinguishable afterwards.
+
+    ``report``, when given a dict, is filled in place with the run's
+    guard telemetry: ``report["guarded"]`` is False when a deadline was
+    requested but cannot be enforced in this context (see
+    :func:`deadline_supported`) — campaign tools surface this as
+    ``"unguarded"`` in quarantine records instead of pretending the
+    budget applied — and ``report["attempts"]`` counts attempts made.
     """
     label = what or getattr(fn, "__name__", "operation")
+    guarded = timeout_s is None or timeout_s <= 0 or deadline_supported()
+    if report is not None:
+        report["guarded"] = bool(guarded)
+        report["attempts"] = 0
     delay = backoff_s
     attempt = 0
     while True:
+        attempt += 1
+        if report is not None:
+            report["attempts"] = attempt
         try:
             with time_limit(timeout_s, label):
                 return fn(*args, **kwargs)
         except retry_on:
-            attempt += 1
             if attempt > retries:
                 raise
             if delay > 0:

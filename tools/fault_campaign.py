@@ -6,7 +6,7 @@ Usage::
     python tools/fault_campaign.py --n 16 \
         --networks prefix,mux_merger,fish \
         --faults stuck,control,transient [--k 1] [--out FAULTS.json] \
-        [--supervised] [--item-timeout 30] [--item-retries 1]
+        [--supervised] [--item-timeout 30] [--item-retries 1] [--jobs 4]
 
 For every requested network the campaign enumerates (and deterministically
 samples, when large) the requested fault universe from
@@ -67,12 +67,24 @@ exponential-backoff retries; an item that keeps failing is *quarantined*
 list and never re-run — so one pathological (network, n, fault) cannot
 hang or crash a whole campaign.
 
+``--jobs N`` shards the items over N crash-isolated worker processes
+(:mod:`repro.parallel`): the fault universe is enumerated (seeded, so
+deterministically) in the parent, items fan out to whichever worker is
+free, records checkpoint in completion order, and the final document is
+re-sorted into enumeration order — so a ``--jobs 4`` campaign's records
+are byte-identical to a serial run's.  Every worker rebuilds its
+per-network probe batches and checker hardware from the same seeds, so
+no state needs to ship besides the fault objects themselves; a worker
+that crashes or hangs mid-item loses exactly that item (quarantined,
+pool replenished, checkpoint preserved).
+
 ``--trace FILE`` enables :mod:`repro.obs` and appends a JSON-lines trace
 (one ``campaign.item`` span per fault set, quarantine events, engine
-spans and switch-activity summaries underneath); ``--metrics FILE``
-exports the metrics registry on exit (Prometheus text when the name ends
-in ``.prom``, JSON otherwise).  Read traces with
-``tools/trace_report.py``; see docs/OBSERVABILITY.md.
+spans and switch-activity summaries underneath; parallel workers write
+per-pid shards merged back on exit); ``--metrics FILE`` exports the
+metrics registry on exit (Prometheus text when the name ends in
+``.prom``, JSON otherwise).  Read traces with ``tools/trace_report.py``;
+see docs/OBSERVABILITY.md.
 """
 
 import argparse
@@ -116,7 +128,9 @@ def _fault_universe(net, kinds, cycles, max_faults: int, k: int, seed: int, tag:
     """Sampled fault universe for one network, grouped per kind.
 
     Returns ``[(kind_label, [fault_set, ...]), ...]`` where each fault
-    set is a tuple of faults (singletons unless ``k > 1``).
+    set is a tuple of faults (singletons unless ``k > 1``).  Sampling is
+    seeded, so every process — the enumerating parent and each rebuilt
+    worker context — derives the identical universe.
     """
     from repro.circuits import enumerate_faults, k_fault_sets, sample_faults
 
@@ -135,6 +149,13 @@ def _fault_universe(net, kinds, cycles, max_faults: int, k: int, seed: int, tag:
             label = f"{kind}-k{k}"
         out.append((label, sets))
     return out
+
+
+def _builders():
+    from repro.core.mux_merger import build_mux_merger_sorter
+    from repro.core.prefix_sorter import build_prefix_sorter
+
+    return {"prefix": build_prefix_sorter, "mux_merger": build_mux_merger_sorter}
 
 
 def _classify_combinational(mutant, probes, expected, diff_rows: int):
@@ -218,10 +239,34 @@ def _supervised_extras_fish(checker, probes, expected, outs):
     }
 
 
-def run_network_combinational(name, net, args, done, emit, run_item):
-    from repro.circuits import apply_faults, fault_set_id, get_plan, StuckAt
+# ---------------------------------------------------------------------------
+# Worker-side execution context
+#
+# Each process (the in-process serial path, or every pool worker) builds
+# the per-network machinery — netlists, probe batches, checker hardware,
+# activation taps — lazily from the campaign args alone.  Everything is
+# seeded, so every process derives identical state and only the fault
+# objects themselves travel with each item.
+# ---------------------------------------------------------------------------
+
+_WCTX = {"args": None, "comb": {}, "fish": None}
+
+
+def _campaign_worker_init(args) -> None:
+    _WCTX["args"] = args
+    _WCTX["comb"] = {}
+    _WCTX["fish"] = None
+
+
+def _comb_context(name: str) -> dict:
+    ctx = _WCTX["comb"].get(name)
+    if ctx is not None:
+        return ctx
+    from repro.circuits import StuckAt, get_plan
     from repro.circuits.faults import driven_wires
 
+    args = _WCTX["args"]
+    net = _builders()[name](args.n)
     probes = _probe_batch(args.n, args.probes, _seed_for(args.seed, name, "probes"))
     expected = np.sort(probes, axis=1)
     get_plan(net)  # compile the healthy plan once (mutants compile per-fault)
@@ -246,56 +291,26 @@ def run_network_combinational(name, net, args, done, emit, run_item):
         _, tapped = get_plan(net).execute(probes, taps=stuck_wires)
         for i, w in enumerate(stuck_wires):
             activation[w] = float(tapped[:, i].mean())
-    for kind, sets in groups:
-        for faults in sets:
-            rid = f"{name}/{fault_set_id(faults)}"
-            if rid in done:
-                continue
-
-            def item(faults=faults, kind=kind, rid=rid):
-                mutant = apply_faults(net, faults)
-                outcome, damage, div = _classify_combinational(
-                    mutant, probes, expected, args.diff_rows
-                )
-                act = None
-                if len(faults) == 1 and isinstance(faults[0], StuckAt):
-                    w, v = faults[0].wire, faults[0].value
-                    if w in activation:
-                        act = activation[w] if v == 0 else 1.0 - activation[w]
-                record = {
-                    "id": rid,
-                    "network": name,
-                    "kind": kind,
-                    "faults": [f.id for f in faults],
-                    "outcome": outcome,
-                    "damage": damage,
-                    "divergences": div,
-                    "activation": act,
-                }
-                if checked is not None:
-                    record.update(_supervised_extras_combinational(
-                        name, checked, faults, probes, expected, args
-                    ))
-                emit(record)
-
-            run_item(rid, item)
+    ctx = {
+        "net": net,
+        "probes": probes,
+        "expected": expected,
+        "checked": checked,
+        "activation": activation,
+    }
+    _WCTX["comb"][name] = ctx
+    return ctx
 
 
-def run_network_fish(args, done, emit, run_item):
-    """Campaign over Network 3: structural faults on the time-shared group
-    sorter; transients on the cycle-accurate Model-B pipeline."""
-    from repro.analysis.resilience import classify, damage_metrics
-    from repro.circuits import (
-        TransientFlip, apply_faults, fault_set_id, simulate,
-    )
-    from repro.circuits.sequential import levelize
-    from repro.circuits.simulate import simulate_interpreted
+def _fish_context() -> dict:
+    ctx = _WCTX["fish"]
+    if ctx is not None:
+        return ctx
+    from repro.circuits import exhaustive_inputs
     from repro.core.fish_sorter import FishSorter
 
+    args = _WCTX["args"]
     fs = FishSorter(args.n)
-    target = fs.group_sorter
-    latency = levelize(target).n_levels
-    cycles = list(range(fs.k + latency))
     rng = np.random.default_rng(_seed_for(args.seed, "fish", "probes"))
     probes = rng.integers(0, 2, (args.fish_probes, args.n)).astype(np.uint8)
     expected = np.sort(probes, axis=1)
@@ -306,52 +321,134 @@ def run_network_fish(args, done, emit, run_item):
         checker = build_output_checker(args.n)
     # Interpreter-vs-engine differential probes for the mutated group
     # netlist: exhaustive over the group width (it is small by design).
-    from repro.circuits import exhaustive_inputs
-
     gprobes = exhaustive_inputs(min(fs.group, 12))
-    groups = _fault_universe(
-        target, args.faults, cycles=cycles, max_faults=args.max_faults,
-        k=args.k, seed=args.seed, tag="fish",
+    ctx = {
+        "fs": fs,
+        "probes": probes,
+        "expected": expected,
+        "checker": checker,
+        "gprobes": gprobes,
+    }
+    _WCTX["fish"] = ctx
+    return ctx
+
+
+def _comb_record(name, kind, faults, rid) -> dict:
+    from repro.circuits import StuckAt, apply_faults
+
+    args = _WCTX["args"]
+    ctx = _comb_context(name)
+    mutant = apply_faults(ctx["net"], faults)
+    outcome, damage, div = _classify_combinational(
+        mutant, ctx["probes"], ctx["expected"], args.diff_rows
     )
-    for kind, sets in groups:
-        for faults in sets:
-            rid = f"fish/{fault_set_id(faults)}"
-            if rid in done:
-                continue
+    act = None
+    if len(faults) == 1 and isinstance(faults[0], StuckAt):
+        w, v = faults[0].wire, faults[0].value
+        if w in ctx["activation"]:
+            act = ctx["activation"][w] if v == 0 else 1.0 - ctx["activation"][w]
+    record = {
+        "id": rid,
+        "network": name,
+        "kind": kind,
+        "faults": [f.id for f in faults],
+        "outcome": outcome,
+        "damage": damage,
+        "divergences": div,
+        "activation": act,
+    }
+    if ctx["checked"] is not None:
+        record.update(_supervised_extras_combinational(
+            name, ctx["checked"], faults, ctx["probes"], ctx["expected"], args
+        ))
+    return record
 
-            def item(faults=faults, kind=kind, rid=rid):
-                transients = [f for f in faults if isinstance(f, TransientFlip)]
-                structural = [f for f in faults if not isinstance(f, TransientFlip)]
-                mutant = apply_faults(target, structural) if structural else target
-                runner = fs.clone_with_group_sorter(mutant) if structural else fs
-                out = np.stack([
-                    runner.sort_cycle_accurate(row, transients=transients)[0]
-                    for row in probes
-                ])
-                # Same-fault differential: the mutated group netlist through
-                # both simulators (transients project to inversions there).
-                diff_net = apply_faults(mutant, transients) if transients else mutant
-                divergences = int(
-                    (simulate(diff_net, gprobes) != simulate_interpreted(diff_net, gprobes))
-                    .any(axis=1).sum()
-                )
-                record = {
-                    "id": rid,
-                    "network": "fish",
-                    "kind": kind,
-                    "faults": [f.id for f in faults],
-                    "outcome": classify(out, expected),
-                    "damage": damage_metrics(out, expected),
-                    "divergences": divergences,
-                    "activation": None,
-                }
-                if checker is not None:
-                    record.update(_supervised_extras_fish(
-                        checker, probes, expected, out
-                    ))
-                emit(record)
 
-            run_item(rid, item)
+def _fish_record(kind, faults, rid) -> dict:
+    """Campaign record for Network 3: structural faults on the time-shared
+    group sorter; transients on the cycle-accurate Model-B pipeline."""
+    from repro.analysis.resilience import classify, damage_metrics
+    from repro.circuits import TransientFlip, apply_faults, simulate
+    from repro.circuits.simulate import simulate_interpreted
+
+    ctx = _fish_context()
+    fs, probes, expected = ctx["fs"], ctx["probes"], ctx["expected"]
+    target = fs.group_sorter
+    transients = [f for f in faults if isinstance(f, TransientFlip)]
+    structural = [f for f in faults if not isinstance(f, TransientFlip)]
+    mutant = apply_faults(target, structural) if structural else target
+    runner = fs.clone_with_group_sorter(mutant) if structural else fs
+    out = np.stack([
+        runner.sort_cycle_accurate(row, transients=transients)[0]
+        for row in probes
+    ])
+    # Same-fault differential: the mutated group netlist through
+    # both simulators (transients project to inversions there).
+    diff_net = apply_faults(mutant, transients) if transients else mutant
+    divergences = int(
+        (simulate(diff_net, ctx["gprobes"]) != simulate_interpreted(diff_net, ctx["gprobes"]))
+        .any(axis=1).sum()
+    )
+    record = {
+        "id": rid,
+        "network": "fish",
+        "kind": kind,
+        "faults": [f.id for f in faults],
+        "outcome": classify(out, expected),
+        "damage": damage_metrics(out, expected),
+        "divergences": divergences,
+        "activation": None,
+    }
+    if ctx["checker"] is not None:
+        record.update(_supervised_extras_fish(
+            ctx["checker"], probes, expected, out
+        ))
+    return record
+
+
+def _campaign_task(payload) -> dict:
+    name, kind, faults, rid = payload
+    if name == "fish":
+        return _fish_record(kind, faults, rid)
+    return _comb_record(name, kind, faults, rid)
+
+
+# ---------------------------------------------------------------------------
+# Parent-side enumeration
+# ---------------------------------------------------------------------------
+
+
+def enumerate_campaign(args, networks) -> list:
+    """The full deterministic item list: ``[(rid, payload), ...]`` in the
+    canonical (network, kind, sample) order a serial campaign runs in.
+    The same enumeration keys resume filtering and final record order."""
+    from repro.circuits import fault_set_id
+
+    items = []
+    builders = _builders()
+    for name in networks:
+        if name == "fish":
+            from repro.circuits.sequential import levelize
+            from repro.core.fish_sorter import FishSorter
+
+            fs = FishSorter(args.n)
+            target = fs.group_sorter
+            latency = levelize(target).n_levels
+            cycles = list(range(fs.k + latency))
+            tag = "fish"
+        else:
+            target = builders[name](args.n)
+            cycles = [0]
+            tag = name
+        groups = _fault_universe(
+            target, args.faults, cycles=cycles, max_faults=args.max_faults,
+            k=args.k, seed=args.seed, tag=tag,
+        )
+        for kind, sets in groups:
+            for faults in sets:
+                rid = f"{name}/{fault_set_id(faults)}"
+                items.append((rid, (name, kind, faults, rid)))
+    return items
 
 
 def main(argv=None) -> int:
@@ -376,6 +473,9 @@ def main(argv=None) -> int:
                              "through the recovery supervisor")
     parser.add_argument("--supervised-probes", type=int, default=8,
                         help="probe rows per fault for the live supervisor pass")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial in-process); final "
+                             "records are identical to a serial run")
     parser.add_argument("--item-timeout", type=float, default=0.0,
                         help="per-item wall-clock budget in seconds (0 = off)")
     parser.add_argument("--item-retries", type=int, default=1,
@@ -409,7 +509,7 @@ def main(argv=None) -> int:
     import repro.obs as obs
     from repro.analysis.resilience import SILENT, format_resilience_table, summarize
     from repro.ioutil import atomic_write_json, atomic_write_text
-    from repro.runtime.guard import run_guarded
+    from repro.parallel import run_items
 
     if args.trace or args.metrics:
         obs.enable(trace_path=args.trace)
@@ -463,48 +563,48 @@ def main(argv=None) -> int:
         if state["since_checkpoint"] >= args.checkpoint_every:
             checkpoint()
 
-    def run_item(rid, fn):
-        """One campaign item under deadline + retry; quarantine on
-        persistent failure instead of killing the whole campaign.
-        Each item is a ``campaign.item`` span when observability is on."""
-        with obs.trace_span("campaign.item", item=rid) as attrs:
-            try:
-                run_guarded(
-                    fn,
-                    timeout_s=args.item_timeout or None,
-                    retries=max(args.item_retries, 0),
-                    backoff_s=args.item_backoff,
-                    what=rid,
-                )
-                attrs["ok"] = True
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:
-                attrs["ok"] = False
-                attrs["error"] = repr(exc)
-                quarantine.append({
-                    "id": rid,
-                    "error": repr(exc),
-                    "attempts": max(args.item_retries, 0) + 1,
-                })
-                done.add(rid)
-                obs.trace_event("campaign.quarantine", item=rid, error=repr(exc))
-                print(f"quarantined {rid}: {exc!r}")
-                checkpoint()
+    def on_outcome(outcome):
+        """Checkpointing hook, called in the parent in completion order.
 
-    from repro.core.mux_merger import build_mux_merger_sorter
-    from repro.core.prefix_sorter import build_prefix_sorter
+        Success feeds the normal emit/checkpoint path; failure (budget
+        exhausted, worker crashed or hung) quarantines the id — with an
+        ``unguarded`` marker when the deadline could not actually be
+        enforced — and checkpoints immediately, exactly as the serial
+        tool always has."""
+        if outcome.ok:
+            emit(outcome.value)
+            return
+        quarantine.append(outcome.quarantine_record())
+        done.add(outcome.id)
+        obs.trace_event("campaign.quarantine", item=outcome.id,
+                        error=outcome.error)
+        print(f"quarantined {outcome.id}: {outcome.error}")
+        checkpoint()
 
-    builders = {"prefix": build_prefix_sorter, "mux_merger": build_mux_merger_sorter}
+    all_items = enumerate_campaign(args, networks)
+    order = {rid: i for i, (rid, _payload) in enumerate(all_items)}
+    todo = [(rid, payload) for rid, payload in all_items if rid not in done]
+    before_by_network = {
+        name: sum(1 for r in records if r["network"] == name) for name in networks
+    }
+    run_items(
+        todo, _campaign_task, jobs=args.jobs,
+        worker_init=_campaign_worker_init, init_arg=args,
+        timeout_s=args.item_timeout or None,
+        retries=max(args.item_retries, 0),
+        backoff_s=args.item_backoff,
+        span="campaign.item",
+        on_outcome=on_outcome,
+    )
     for name in networks:
-        before = len(records)
-        if name == "fish":
-            run_network_fish(args, done, emit, run_item)
-        else:
-            run_network_combinational(
-                name, builders[name](args.n), args, done, emit, run_item
-            )
-        print(f"{name}: {len(records) - before} new records ({len(records)} total)")
+        total = sum(1 for r in records if r["network"] == name)
+        print(f"{name}: {total - before_by_network[name]} new records ({len(records)} total)")
+
+    # Canonical order: parallel completion order (and resumed prefixes)
+    # both re-sort to the serial enumeration order, making the final
+    # document independent of --jobs and of interruption history.
+    records.sort(key=lambda r: order.get(r["id"], len(order)))
+    quarantine.sort(key=lambda q: order.get(q["id"], len(order)))
 
     summary = summarize(records)
     meta["complete"] = True

@@ -3,7 +3,7 @@
 
 Usage::
 
-    python tools/sweep.py [--max-lg 12] [--out sweep.json]
+    python tools/sweep.py [--max-lg 12] [--out sweep.json] [--jobs 4]
     python tools/sweep.py --engine-bench [--out BENCH_engine.json]
     python tools/sweep.py --max-lg 5 --trace trace.jsonl --metrics metrics.json
 
@@ -21,10 +21,18 @@ quarantined and recorded in a sibling ``<out>.quarantine.json`` (kept
 out of the main file so ``compare_sweeps.py`` record formats are
 unchanged), letting the rest of the sweep complete.
 
+``--jobs N`` shards the items over N crash-isolated worker processes
+(:mod:`repro.parallel`): records come back in the same deterministic
+order as a serial run, a worker that dies or hangs mid-item costs
+exactly that item (quarantined, pool replenished), and deadlines are
+enforced on each worker's main thread.  Timing fields will of course
+vary run to run; every *non-timing* field is identical to serial.
+
 ``--trace FILE`` enables :mod:`repro.obs` and appends a JSON-lines trace
 (one ``sweep.item`` span per (network, n), ``engine.execute`` spans with
 per-level kernel timings underneath, quarantine events, and final
-``engine.activity`` switch-activity summaries) — read it with
+``engine.activity`` switch-activity summaries; parallel workers write
+per-pid shards that are merged back on exit) — read it with
 ``tools/trace_report.py``.  ``--metrics FILE`` exports the metrics
 registry on exit (Prometheus text if the name ends in ``.prom``, JSON
 otherwise).  See docs/OBSERVABILITY.md.
@@ -54,70 +62,87 @@ NETWORKS = [
 ]
 
 
-def _guarded_item(guard_args, label, fn, quarantine):
-    """Run one sweep item under deadline + retry; on persistent failure
-    record it in ``quarantine`` and return None instead of raising.
-    Each item is a ``sweep.item`` span when observability is on."""
+def _warm_caches(_arg) -> None:
+    """Per-worker warm-up: pay imports and one plan compilation before
+    the first real item, so long-lived workers start with hot caches."""
+    import repro.analysis  # noqa: F401 - heavy transitive imports
+    from repro.circuits import get_plan
+    from repro.core import build_prefix_sorter
+
+    get_plan(build_prefix_sorter(8))
+
+
+def _quarantine_reporter(kind: str, quarantine: list):
+    """on_outcome hook: collect failures and announce them like the
+    serial tool always has (stdout line + ``<kind>.quarantine`` event)."""
     import repro.obs as obs
-    from repro.runtime.guard import run_guarded
 
-    with obs.trace_span("sweep.item", item=label) as attrs:
-        try:
-            result = run_guarded(
-                fn,
-                timeout_s=guard_args.item_timeout or None,
-                retries=max(guard_args.item_retries, 0),
-                backoff_s=guard_args.item_backoff,
-                what=label,
-            )
-            attrs["ok"] = True
-            return result
-        except KeyboardInterrupt:
-            raise
-        except Exception as exc:
-            attrs["ok"] = False
-            attrs["error"] = repr(exc)
-            quarantine.append({
-                "id": label,
-                "error": repr(exc),
-                "attempts": max(guard_args.item_retries, 0) + 1,
-            })
-            obs.trace_event("sweep.quarantine", item=label, error=repr(exc))
-            print(f"quarantined {label}: {exc!r}")
-            return None
+    def on_outcome(outcome) -> None:
+        if outcome.ok:
+            return
+        quarantine.append(outcome.quarantine_record())
+        obs.trace_event(f"{kind}.quarantine", item=outcome.id,
+                        error=outcome.error)
+        print(f"quarantined {outcome.id}: {outcome.error}")
+
+    return on_outcome
 
 
-def run_sweep(max_lg: int, min_lg: int = 4, guard_args=None, quarantine=None) -> list:
+def _guard_params(guard_args):
+    """(timeout_s, retries, backoff_s) from the tool's CLI namespace."""
+    if guard_args is None:
+        return None, 0, 0.05
+    return (
+        guard_args.item_timeout or None,
+        max(guard_args.item_retries, 0),
+        guard_args.item_backoff,
+    )
+
+
+def _measure_item(payload) -> dict:
+    """One sweep record; runs in whichever process holds the item."""
     from repro.analysis import measure_network
 
-    records = []
+    name, n = payload
+    m = measure_network(name, n)
+    return {
+        "network": m.network,
+        "n": m.n,
+        "cost": m.cost,
+        "depth": m.depth,
+        "time": m.time,
+        "claimed_cost": m.claimed_cost,
+        "claimed_depth": m.claimed_depth,
+        "claimed_time": m.claimed_time,
+    }
+
+
+def run_sweep(max_lg: int, min_lg: int = 4, guard_args=None,
+              quarantine=None, jobs: int = 1) -> list:
+    from repro.parallel import run_items
+
     quarantine = quarantine if quarantine is not None else []
-    for name in NETWORKS:
-        for p in range(min_lg, max_lg + 1):
-            n = 1 << p
-            if guard_args is not None:
-                m = _guarded_item(
-                    guard_args, f"{name}/n={n}",
-                    lambda name=name, n=n: measure_network(name, n),
-                    quarantine,
+    items = [
+        (f"{name}/n={1 << p}", (name, 1 << p))
+        for name in NETWORKS
+        for p in range(min_lg, max_lg + 1)
+    ]
+    timeout_s, retries, backoff_s = _guard_params(guard_args)
+    outcomes = run_items(
+        items, _measure_item, jobs=jobs,
+        worker_init=_warm_caches,
+        timeout_s=timeout_s, retries=retries, backoff_s=backoff_s,
+        span="sweep.item",
+        on_outcome=_quarantine_reporter("sweep", quarantine),
+    )
+    if guard_args is None:
+        # Historical contract: an unguarded sweep raises on first failure.
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"sweep item {outcome.id} failed: {outcome.error}"
                 )
-                if m is None:
-                    continue
-            else:
-                m = measure_network(name, n)
-            records.append(
-                {
-                    "network": m.network,
-                    "n": m.n,
-                    "cost": m.cost,
-                    "depth": m.depth,
-                    "time": m.time,
-                    "claimed_cost": m.claimed_cost,
-                    "claimed_depth": m.claimed_depth,
-                    "claimed_time": m.claimed_time,
-                }
-            )
-    return records
+    return [o.value for o in outcomes if o.ok]
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -148,45 +173,29 @@ ENGINE_BENCH_SERIES = [
 ]
 
 
-def run_engine_bench(guard_args=None, quarantine=None) -> list:
-    """Interpreter-vs-engine timing records for the drift gate."""
+def _engine_bench_item(payload) -> dict:
+    """One interpreter-vs-engine timing record.
+
+    The random batch is seeded per item (not from one shared stream) so
+    serial and ``--jobs N`` runs measure identical inputs no matter
+    which worker draws them.
+    """
     import numpy as np
 
     from repro.circuits import exhaustive_inputs, get_plan
     from repro.circuits.simulate import simulate_interpreted
     from repro.core import build_mux_merger_sorter, build_prefix_sorter
 
-    builders = {"prefix": build_prefix_sorter, "mux_merger": build_mux_merger_sorter}
-    rng = np.random.default_rng(0xE9)
-    records = []
-    quarantine = quarantine if quarantine is not None else []
-    for name, n, rows, mode, floor in ENGINE_BENCH_SERIES:
-        if guard_args is not None:
-            rec = _guarded_item(
-                guard_args, f"{name}/n={n}/{mode}",
-                lambda name=name, n=n, rows=rows, mode=mode, floor=floor:
-                    _engine_bench_item(builders, rng, name, n, rows, mode, floor),
-                quarantine,
-            )
-            if rec is not None:
-                records.append(rec)
-            continue
-        records.append(_engine_bench_item(builders, rng, name, n, rows, mode, floor))
-    return records
-
-
-def _engine_bench_item(builders, rng, name, n, rows, mode, floor) -> dict:
-    import numpy as np
-
-    from repro.circuits import exhaustive_inputs, get_plan
-    from repro.circuits.simulate import simulate_interpreted
-
+    index, name, n, rows, mode, floor = payload
+    builders = {"prefix": build_prefix_sorter,
+                "mux_merger": build_mux_merger_sorter}
     net = builders[name](n)
     plan = get_plan(net)  # compile outside the timed region
     if mode == "packed-exhaustive":
         batch = exhaustive_inputs(n)
         run_engine = lambda: plan.execute_packed(batch)
     else:
+        rng = np.random.default_rng((0xE9, index))
         batch = rng.integers(0, 2, (rows, n)).astype(np.uint8)
         run_engine = lambda: plan.execute(batch)
     if not np.array_equal(run_engine(), simulate_interpreted(net, batch)):
@@ -209,6 +218,37 @@ def _engine_bench_item(builders, rng, name, n, rows, mode, floor) -> dict:
         f"engine {engine_s:.5f}s -> {record['speedup']}x"
     )
     return record
+
+
+def run_engine_bench(guard_args=None, quarantine=None, jobs: int = 1) -> list:
+    """Interpreter-vs-engine timing records for the drift gate.
+
+    Note: timing benchmarks on a busy multi-worker pool measure
+    contended hardware; ``--jobs`` is supported for format parity but a
+    serial run is the honest configuration for the drift gate.
+    """
+    from repro.parallel import run_items
+
+    quarantine = quarantine if quarantine is not None else []
+    items = [
+        (f"{name}/n={n}/{mode}", (i, name, n, rows, mode, floor))
+        for i, (name, n, rows, mode, floor) in enumerate(ENGINE_BENCH_SERIES)
+    ]
+    timeout_s, retries, backoff_s = _guard_params(guard_args)
+    outcomes = run_items(
+        items, _engine_bench_item, jobs=jobs,
+        worker_init=_warm_caches,
+        timeout_s=timeout_s, retries=retries, backoff_s=backoff_s,
+        span="sweep.item",
+        on_outcome=_quarantine_reporter("sweep", quarantine),
+    )
+    if guard_args is None:
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"engine-bench item {outcome.id} failed: {outcome.error}"
+                )
+    return [o.value for o in outcomes if o.ok]
 
 
 def _obs_setup(args) -> None:
@@ -245,6 +285,9 @@ def main(argv=None) -> int:
         action="store_true",
         help="time interpreter vs compiled engine instead of cost/depth/time",
     )
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial in-process); "
+                             "records are identical to serial either way")
     parser.add_argument("--item-timeout", type=float, default=0.0,
                         help="per-item wall-clock budget in seconds (0 = off)")
     parser.add_argument("--item-retries", type=int, default=1,
@@ -273,7 +316,8 @@ def main(argv=None) -> int:
 
     if args.engine_bench:
         out = args.out or pathlib.Path("BENCH_engine.json")
-        records = run_engine_bench(guard_args=args, quarantine=quarantine)
+        records = run_engine_bench(guard_args=args, quarantine=quarantine,
+                                   jobs=args.jobs)
         atomic_write_text(out, json.dumps(records, indent=1))
         write_quarantine(out)
         _obs_finish(args)
@@ -283,7 +327,8 @@ def main(argv=None) -> int:
     if not 2 <= args.min_lg <= args.max_lg <= 14:
         print("need 2 <= min-lg <= max-lg <= 14")
         return 2
-    records = run_sweep(args.max_lg, args.min_lg, guard_args=args, quarantine=quarantine)
+    records = run_sweep(args.max_lg, args.min_lg, guard_args=args,
+                        quarantine=quarantine, jobs=args.jobs)
     atomic_write_text(out, json.dumps(records, indent=1))
     write_quarantine(out)
     _obs_finish(args)

@@ -22,8 +22,13 @@ Sections (each emitted only when the trace has the matching events):
 * **supervisor** — outcome table aggregated from ``supervisor.sort``
   spans and ``supervisor.*`` decision events (accepts, fallbacks,
   retries, alarms, deadline hits per network);
-* **items** — ``sweep.item`` / ``campaign.item`` span statistics and
-  every quarantine event.
+* **items** — ``sweep.item`` / ``campaign.item`` / ``parallel.item``
+  (and batch-shard) span statistics, plus every quarantine and
+  ``parallel.worker_lost`` event.
+
+When per-pid worker shards (``<trace>.shard-<pid>``) are still sitting
+next to the trace — a parallel run whose parent died before merging —
+they are read too, so nothing a worker recorded is lost.
 
 ``--json`` dumps the aggregated report as JSON instead of text (for
 scripting); ``--lenient`` skips corrupt mid-file lines instead of
@@ -53,10 +58,24 @@ def shade(frac: float) -> str:
 
 
 def load_events(path, lenient: bool = False):
-    """Read the trace, tolerating a truncated final line."""
-    from repro.obs import read_trace
+    """Read the trace, tolerating a truncated final line.
+
+    Per-pid worker shards (``<path>.shard-<pid>``) left behind when a
+    parallel run's parent died before merging are read too — leniently,
+    since a killed worker's final line may be truncated — so the report
+    always covers everything the run recorded.
+    """
+    from repro.obs import read_trace, shard_paths
 
     result = read_trace(path, strict=not lenient)
+    shards = shard_paths(path)
+    if shards:
+        print(f"note: reading {len(shards)} unmerged worker shard(s)",
+              file=sys.stderr)
+        for shard in shards:
+            extra = read_trace(shard, strict=False)
+            result.events.extend(extra.events)
+            result.corrupt += extra.corrupt
     return result
 
 
@@ -131,7 +150,8 @@ def item_stats(events):
     """sweep.item / campaign.item span statistics + quarantine events."""
     stats = {}
     quarantined = []
-    for span_name in ("sweep.item", "campaign.item"):
+    for span_name in ("sweep.item", "campaign.item", "parallel.item",
+                      "api.sort_shard", "supervisor.sort_shard"):
         spans = [ev for ev in events if ev.get("name") == span_name]
         if not spans:
             continue
@@ -147,7 +167,8 @@ def item_stats(events):
                        .get("attrs", {}).get("item"),
         }
     for ev in events:
-        if ev.get("name") in ("sweep.quarantine", "campaign.quarantine"):
+        if ev.get("name") in ("sweep.quarantine", "campaign.quarantine",
+                              "parallel.worker_lost"):
             quarantined.append(ev.get("attrs", {}))
     return stats, quarantined
 
