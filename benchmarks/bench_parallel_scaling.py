@@ -16,7 +16,10 @@ path may cost at most 4x the serial one while producing identical
 output.  The measured outputs are asserted byte-identical to serial in
 every configuration before any timing is trusted.
 
-A second record family (``mode="dispatch"``) times the raw
+Two further record families share the artifact: ``mode="serial"``
+gates the serial baseline itself (absolute sequences-per-second with
+its own floor, so a slowdown hitting serial and parallel legs alike
+cannot cancel out of the ratios), and ``mode="dispatch"`` times the raw
 :func:`repro.parallel.run_items` round-trip on trivial items, bounding
 the executor's per-item dispatch overhead so it stays visible in the
 drift gate.
@@ -98,6 +101,26 @@ def test_parallel_scaling_series(results_dir, rng, emit):
 
     records = []
     rows = [("mode", "serial_s", "parallel_s", "speedup", "floor", "cpus")]
+
+    # Gate the serial baseline itself, not just the ratios: every other
+    # record divides by serial_s, so a regression that slows serial and
+    # parallel legs alike would otherwise cancel out of the artifact.
+    # "speedup" here is absolute throughput (sorted sequences per
+    # second); the floor is conservative (~7x under the measured 1-CPU
+    # rate) so only a real collapse of the serial path trips it.
+    records.append({
+        "network": NETWORK,
+        "n": N,
+        "batch": BATCH,
+        "mode": "serial",
+        "serial_s": round(serial_s, 6),
+        "parallel_s": round(serial_s, 6),
+        "speedup": round(BATCH / serial_s, 2),
+        "floor": 100.0,
+        "cpus": cpus,
+    })
+    rows.append(("serial", f"{serial_s:.4f}", "-",
+                 f"{records[0]['speedup']} items/s", "100.0/s", str(cpus)))
     for jobs in JOBS_SERIES:
         par_s, par_out = _time_parallel(seqs, jobs)
         # Determinism first: timings mean nothing if outputs drift.

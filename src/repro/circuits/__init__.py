@@ -13,6 +13,10 @@ as executable circuits with the exact cost/depth accounting of Section II:
 * :mod:`~repro.circuits.engine` — compiled level-batched execution
   plans: fused gather/kernel/scatter steps per (level, kind) group, a
   bit-packed 64-lanes-per-word fast path, and a weak-keyed plan cache.
+* :mod:`~repro.circuits.jit` — one level further down: code-generated
+  straight-line bit-slice kernels with bit-level optimization passes
+  (constant propagation, CSE, dead-code elimination, cross-level
+  fusion) and a persistent content-hash-keyed disk cache.
 * :mod:`~repro.circuits.sequential` — Model B: timelines, pipeline
   levelization, and a cycle-accurate pipelined executor.
 * :mod:`~repro.circuits.faults` — declarative fault models (stuck-at,
@@ -46,6 +50,8 @@ from .engine import (
     ExecutionPlan,
     FusedStep,
     PACKED_MIN_BATCH,
+    cache_info,
+    clear_disk_cache,
     clear_plan_cache,
     compile_plan,
     fuse_elements,
@@ -68,6 +74,13 @@ from .faults import (
 )
 from .fsm import SequentialCircuit, build_time_multiplexed_stage
 from .fuzz import random_netlist
+from .jit import (
+    BitProgram,
+    JitPlan,
+    compile_jit,
+    get_jit_plan,
+    optimize_program,
+)
 from .lowering import gate_count, gate_depth, lower_to_gates
 from .opt import fold_constants, optimize, prune_dead
 from .paths import critical_path, level_histogram, path_kind_summary
@@ -86,12 +99,15 @@ from .simulate import (
     NO_PAYLOAD,
     exhaustive_inputs,
     simulate,
+    simulate_engine,
     simulate_interpreted,
+    simulate_jit,
     simulate_payload,
     simulate_payload_interpreted,
 )
 
 __all__ = [
+    "BitProgram",
     "CheckedNetlist",
     "CircuitBuilder",
     "CircuitStats",
@@ -100,6 +116,7 @@ __all__ = [
     "Element",
     "ExecutionPlan",
     "FusedStep",
+    "JitPlan",
     "LevelizedNetlist",
     "NO_PAYLOAD",
     "Netlist",
@@ -116,7 +133,10 @@ __all__ = [
     "apply_faults",
     "build_output_checker",
     "build_time_multiplexed_stage",
+    "cache_info",
+    "clear_disk_cache",
     "clear_plan_cache",
+    "compile_jit",
     "compile_plan",
     "control_checker_overhead",
     "control_cone",
@@ -133,6 +153,7 @@ __all__ = [
     "fuse_elements",
     "gate_count",
     "gate_depth",
+    "get_jit_plan",
     "get_plan",
     "k_fault_sets",
     "level_histogram",
@@ -140,6 +161,7 @@ __all__ = [
     "load",
     "lower_to_gates",
     "optimize",
+    "optimize_program",
     "path_kind_summary",
     "plan_cache_size",
     "popcount_cost_bound",
@@ -151,7 +173,9 @@ __all__ = [
     "sample_faults",
     "save",
     "simulate",
+    "simulate_engine",
     "simulate_interpreted",
+    "simulate_jit",
     "simulate_payload",
     "simulate_payload_interpreted",
     "sortedness_checker_cost",

@@ -470,10 +470,37 @@ def get_plan(netlist: Netlist) -> ExecutionPlan:
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan (mainly for tests and memory profiling)."""
+    """Drop every cached plan — both the engine's fused-step plans and
+    the JIT's in-memory kernels (mainly for tests and memory profiling).
+    The persistent JIT disk cache is *kept*; see
+    :func:`clear_disk_cache`."""
     _PLAN_CACHE.clear()
+    from . import jit
+
+    jit.clear_memory_cache()
+
+
+def clear_disk_cache() -> int:
+    """Delete every entry of the JIT's persistent compiled-plan cache
+    (:mod:`repro.circuits.jit`); returns the number removed."""
+    from . import jit
+
+    return jit.clear_disk_cache()
 
 
 def plan_cache_size() -> int:
     """Number of netlists with a live cached plan."""
     return len(_PLAN_CACHE)
+
+
+def cache_info() -> dict:
+    """Combined snapshot of every compiled-plan cache.
+
+    ``plans`` counts the engine's weak-keyed fused-step plans; ``jit``
+    nests the JIT's in-memory kernel count and persistent disk-cache
+    statistics (directory, entries, bytes, hit/miss/corruption
+    counters).
+    """
+    from . import jit
+
+    return {"plans": len(_PLAN_CACHE), "jit": jit.cache_info()}

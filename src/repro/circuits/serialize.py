@@ -32,6 +32,29 @@ from .netlist import Netlist
 
 FORMAT_VERSION = 1
 
+
+def content_hash(data: Union[str, bytes]) -> str:
+    """sha256 hex digest of serialized netlist bytes.
+
+    The single content-identity primitive shared by :func:`load`'s
+    staleness check and the JIT disk-cache key
+    (:func:`repro.circuits.jit.get_jit_plan`): two netlists with equal
+    hashes are byte-identical under :func:`to_json`.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def netlist_key(netlist: Netlist) -> str:
+    """Content hash of a live netlist (its canonical JSON form).
+
+    Structure-only: two :class:`Netlist` objects that serialize
+    identically share a key, which is exactly what lets JIT-compiled
+    kernels persist across processes and :mod:`repro.parallel` workers.
+    """
+    return content_hash(to_json(netlist))
+
 #: (realpath, mtime_ns, size) -> (weakref to the loaded netlist, inode,
 #: sha256 of the file bytes).  Weak so the cache never extends a
 #: netlist's lifetime (mirroring the engine's plan cache); stale file
@@ -135,7 +158,7 @@ def load(path, cache: bool = True) -> Netlist:
                     # file was atomically replaced.  Fall back to content.
                     with open(path, "rb") as fh:
                         data = fh.read()
-                    if hashlib.sha256(data).hexdigest() == digest:
+                    if content_hash(data) == digest:
                         return hit
     if data is None:
         with open(path, "rb") as fh:
@@ -145,7 +168,7 @@ def load(path, cache: bool = True) -> Netlist:
         _LOAD_CACHE[key] = (
             weakref.ref(net),
             st.st_ino,
-            hashlib.sha256(data).hexdigest(),
+            content_hash(data),
         )
         if len(_LOAD_CACHE) > 256:  # prune dead refs opportunistically
             for k in [k for k, e in _LOAD_CACHE.items() if e[0]() is None]:

@@ -31,6 +31,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from . import elements as el
+from . import jit as _jit
 from .. import obs
 from ..errors import SimulationError
 from .engine import NO_PAYLOAD, get_plan
@@ -60,8 +61,10 @@ def simulate(netlist: Netlist, inputs) -> np.ndarray:
     """Evaluate ``netlist`` on a batch of input vectors.
 
     Runs on the compiled level-batched engine (bit-packed for batches of
-    64+ vectors); results are bit-identical to
-    :func:`simulate_interpreted`.
+    64+ vectors), or — for netlists warm and sized inside the JIT window
+    (see :func:`repro.circuits.jit.maybe_jit` and the ``REPRO_JIT``
+    override) — on a code-generated straight-line bit-slice kernel.
+    Both backends are bit-identical to :func:`simulate_interpreted`.
 
     Parameters
     ----------
@@ -79,7 +82,43 @@ def simulate(netlist: Netlist, inputs) -> np.ndarray:
         raise SimulationError(
             f"expected {len(netlist.inputs)} inputs, got {batch.shape[1]}"
         )
+    plan = _jit.maybe_jit(netlist, batch.shape[0])
+    if plan is not None:
+        return plan.execute(batch)
     return get_plan(netlist).execute(batch)
+
+
+def simulate_engine(netlist: Netlist, inputs) -> np.ndarray:
+    """:func:`simulate`, pinned to the fused-step engine (never JIT).
+
+    The supervisor's ``engine`` tier and the JIT's own differential
+    tests use this to keep the two compiled backends distinguishable
+    regardless of ``REPRO_JIT``.
+    """
+    batch = _as_batch(inputs)
+    if batch.shape[1] != len(netlist.inputs):
+        raise SimulationError(
+            f"expected {len(netlist.inputs)} inputs, got {batch.shape[1]}"
+        )
+    return get_plan(netlist).execute(batch)
+
+
+def simulate_jit(netlist: Netlist, inputs) -> np.ndarray:
+    """:func:`simulate`, pinned to the code-generated bit-slice kernel.
+
+    Compiles (or loads from cache) unconditionally — no size threshold,
+    no warm-up — unless ``REPRO_JIT=0`` explicitly forbids the JIT, in
+    which case a :class:`~repro.errors.SimulationError` is raised so
+    tiered callers (the supervisor ladder) fall through to the engine.
+    """
+    batch = _as_batch(inputs)
+    if batch.shape[1] != len(netlist.inputs):
+        raise SimulationError(
+            f"expected {len(netlist.inputs)} inputs, got {batch.shape[1]}"
+        )
+    if _jit.jit_mode() == "off":
+        raise SimulationError("JIT disabled by REPRO_JIT=0")
+    return _jit.get_jit_plan(netlist).execute(batch)
 
 
 def simulate_interpreted(netlist: Netlist, inputs) -> np.ndarray:

@@ -20,16 +20,21 @@ import tempfile
 from typing import Any
 
 
-def atomic_write_text(path, text: str) -> None:
-    """Atomically replace ``path`` with ``text`` (UTF-8)."""
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    Binary twin of :func:`atomic_write_text`; used by the JIT disk cache
+    (:mod:`repro.circuits.jit`), whose entries embed marshalled code
+    objects and must never be observable half-written.
+    """
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
     fd, tmp = tempfile.mkstemp(
         dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
@@ -39,6 +44,11 @@ def atomic_write_text(path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (UTF-8)."""
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def atomic_write_json(path, payload: Any, indent: int = 2) -> None:

@@ -19,8 +19,9 @@ returned:
 Any alarm, invariant failure, engine exception, or deadline triggers
 the :class:`RecoveryPolicy`: bounded retry with exponential backoff at
 the current tier, then graceful degradation down the execution ladder —
-compiled engine → element-at-a-time interpreter oracle → behavioral
-``np.sort`` — so a supervised call returns the *correct* answer even
+code-generated JIT kernel → compiled engine → element-at-a-time
+interpreter oracle → behavioral ``np.sort`` — so a supervised call
+returns the *correct* answer even
 when the circuit itself is faulty (the acceptance criterion of the
 supervised fault campaigns).  Per-call statistics (detections, alarm
 counts, tier usage, retries, latencies) accumulate in
@@ -38,7 +39,7 @@ import numpy as np
 
 from .. import obs
 from ..circuits.checkers import CheckedNetlist, OutputChecker, build_output_checker, with_checkers
-from ..circuits.simulate import simulate, simulate_interpreted
+from ..circuits.simulate import simulate_engine, simulate_interpreted, simulate_jit
 from ..errors import BuildError, CheckerAlarm, DeadlineExceeded, ReproError, SimulationError
 from .guard import time_limit
 
@@ -52,9 +53,14 @@ __all__ = [
     "supervisor_stats",
 ]
 
-#: Execution tiers, fastest first.  ``interpreter`` is skipped for the
-#: fish network (its phases already run through both engines).
-TIERS = ("engine", "interpreter", "behavioral")
+#: Execution tiers, fastest first.  ``jit`` runs the code-generated
+#: bit-slice kernel (:mod:`repro.circuits.jit`; degraded past when
+#: ``REPRO_JIT=0`` disables it), ``engine`` is pinned to the fused-step
+#: interpreter so the two compiled rungs stay independent.  ``jit`` and
+#: ``interpreter`` are both skipped for the fish network (its phases are
+#: behavioral objects, not netlists, and already run through both
+#: engines).
+TIERS = ("jit", "engine", "interpreter", "behavioral")
 
 #: Alarm pseudo-name for the supervisor's software invariant gate.
 INVARIANT = "invariant"
@@ -234,10 +240,11 @@ class Supervisor:
             return self._accept(padded, np.sort(padded))
         hw = self._get_hardware(padded.size)
         if self.network == "fish":
-            if tier == "interpreter":
-                # The fish phases already execute through both engines;
-                # there is no separate interpreter ladder rung.
-                raise SimulationError("fish has no interpreter tier")
+            if tier in ("jit", "interpreter"):
+                # The fish sorter is a behavioral object, not a netlist:
+                # its phases already execute through both engines, and
+                # there is nothing for the JIT to code-generate.
+                raise SimulationError(f"fish has no {tier} tier")
             sorter, checker = hw
             out, _report = sorter.sort(padded, pipelined=pipelined)
             out = np.asarray(out, dtype=np.uint8)
@@ -246,7 +253,11 @@ class Supervisor:
                 raise CheckerAlarm(fired)
             return self._accept(padded, out)
         checked: CheckedNetlist = hw
-        run = simulate if tier == "engine" else simulate_interpreted
+        run = {
+            "jit": simulate_jit,
+            "engine": simulate_engine,
+            "interpreter": simulate_interpreted,
+        }[tier]
         out = run(checked.netlist, padded[None, :])
         data = checked.check(out)[0]  # raises CheckerAlarm on any alarm
         return self._accept(padded, data)
@@ -390,7 +401,7 @@ class Supervisor:
         last_error: Optional[BaseException] = None
         tiers = [
             t for t in policy.tiers
-            if not (self.network == "fish" and t == "interpreter")
+            if not (self.network == "fish" and t in ("jit", "interpreter"))
         ]
         # All trace_event calls are no-ops unless repro.obs is enabled;
         # they journal every decision the retry/degradation ladder takes.

@@ -1,0 +1,490 @@
+"""Tests for the bit-slice JIT (repro.circuits.jit).
+
+The load-bearing guarantees, in the order the issue states them:
+
+* **differential** — jit ≡ engine ≡ interpreter, bit for bit, on random
+  netlists (every element kind, control-tagged steering wires),
+  exhaustively for small sorters, and on *faulted* netlists (mutants are
+  netlist rewrites, so they must flow through codegen unchanged);
+* **optimization passes are semantics-preserving** — a hypothesis
+  property over randomly built netlists;
+* **the persistent disk cache never loads a torn entry** — atomic
+  writes + checksum verification, proven against deliberate corruption
+  and against a SIGKILLed writer;
+* **routing policy** — ``REPRO_JIT`` override, size thresholds, and the
+  warm-up counter that keeps one-shot fault-campaign mutants from
+  triggering compile storms.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import engine as engine_mod
+from repro.circuits import jit
+from repro.circuits.faults import (
+    ControlInvert,
+    OutputSwap,
+    StuckAt,
+    apply_fault,
+    control_wires,
+    enumerate_faults,
+    sample_faults,
+)
+from repro.circuits.fuzz import random_netlist
+from repro.circuits.netlist import Netlist
+from repro.circuits.serialize import netlist_key, to_json
+from repro.circuits.simulate import (
+    exhaustive_inputs,
+    simulate,
+    simulate_engine,
+    simulate_interpreted,
+    simulate_jit,
+)
+from repro.core.api import make_sorter
+from repro.errors import SimulationError
+
+
+def _check_all_backends(net, batch):
+    """jit ≡ engine ≡ interpreter on one batch."""
+    ref = simulate_interpreted(net, batch)
+    eng = simulate_engine(net, batch)
+    out = jit.compile_jit(net).execute(batch)
+    raw = jit.compile_jit(net, optimize=False).execute(batch)
+    assert np.array_equal(ref, eng)
+    assert np.array_equal(ref, out)
+    assert np.array_equal(ref, raw)
+    return ref
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("network", ["prefix", "mux_merger"])
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_exhaustive_small_sorters(self, network, n):
+        """Acceptance: exhaustive n≤8 jit-vs-interpreter parity."""
+        net = make_sorter(n, network)
+        _check_all_backends(net, exhaustive_inputs(n))
+
+    def test_random_netlists_all_kinds(self, rng):
+        for _ in range(25):
+            net = random_netlist(rng, n_inputs=6, n_elements=40,
+                                 n_outputs=5)
+            assert net.control_wires  # steering paths are tagged
+            _check_all_backends(net, exhaustive_inputs(6))
+
+    def test_batch_of_one(self, rng):
+        net = make_sorter(16, "prefix")
+        plan = jit.compile_jit(net)
+        for _ in range(8):
+            row = rng.integers(0, 2, size=(1, 16)).astype(np.uint8)
+            assert np.array_equal(simulate_interpreted(net, row),
+                                  plan.execute(row))
+
+    def test_large_batch_crosses_word_boundaries(self, rng):
+        net = make_sorter(8, "mux_merger")
+        plan = jit.compile_jit(net)
+        for batch_size in (63, 64, 65, 127, 200):
+            batch = rng.integers(0, 2, size=(batch_size, 8)).astype(np.uint8)
+            assert np.array_equal(simulate_interpreted(net, batch),
+                                  plan.execute(batch))
+
+    def test_faulted_netlists(self, rng):
+        """Mutants are netlist rewrites; they flow through codegen
+        unchanged and every backend agrees on the *broken* behavior."""
+        net = make_sorter(8, "prefix")
+        batch = exhaustive_inputs(8)
+        clean = simulate_interpreted(net, batch)
+        steering = sorted(set(control_wires(net)) - set(net.inputs))
+        faults = [
+            StuckAt(net.inputs[0], 1),
+            ControlInvert(steering[0]),
+            OutputSwap(next(i for i, e in enumerate(net.elements)
+                            if len(e.outs) >= 2)),
+        ] + list(sample_faults(enumerate_faults(net), 5, seed=3))
+        changed = 0
+        for fault in faults:
+            mutant = apply_fault(net, fault)
+            out = _check_all_backends(mutant, batch)
+            changed += int(not np.array_equal(out, clean))
+        assert changed  # at least one mutant visibly misbehaves
+
+    def test_mutant_gets_its_own_cache_key(self):
+        net = make_sorter(8, "prefix")
+        steering = sorted(set(control_wires(net)) - set(net.inputs))
+        mutant = apply_fault(net, ControlInvert(steering[0]))
+        assert netlist_key(net) != netlist_key(mutant)
+
+    def test_wrong_arity_rejected(self):
+        net = make_sorter(8, "prefix")
+        with pytest.raises(SimulationError):
+            simulate_jit(net, np.zeros((4, 5), dtype=np.uint8))
+
+
+class TestOptimizePasses:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_passes_preserve_semantics(self, seed):
+        """Property: no pass — individually or combined — ever changes
+        simulation results, including on control-tagged steering paths
+        (random_netlist tags every switch/mux select wire)."""
+        rng = np.random.default_rng(seed)
+        net = random_netlist(rng, n_inputs=5, n_elements=30, n_outputs=4)
+        batch = exhaustive_inputs(5)
+        ref = simulate_interpreted(net, batch)
+        naive = jit.lower(net, fold=False, share=False)
+        programs = [
+            naive,
+            jit.propagate_constants(naive),
+            jit.share_subexpressions(naive),
+            jit.eliminate_dead(naive),
+            jit.optimize_program(naive)[0],
+        ]
+        lanes = batch.shape[0]
+        packed_ref = None
+        for prog in programs:
+            ins = [int.from_bytes(
+                np.packbits(np.ascontiguousarray(batch[:, k]),
+                            bitorder="little").tobytes(), "little")
+                for k in range(5)]
+            outs = jit.run_program(prog, ins, lanes)
+            if packed_ref is None:
+                packed_ref = outs
+                unpacked = np.zeros((lanes, len(outs)), dtype=np.uint8)
+                for j, word in enumerate(outs):
+                    for lane in range(lanes):
+                        unpacked[lane, j] = (word >> lane) & 1
+                assert np.array_equal(unpacked, ref)
+            else:
+                assert outs == packed_ref
+
+    def test_optimizer_only_removes_ops(self):
+        net = make_sorter(16, "prefix")
+        naive = jit.lower(net, fold=False, share=False)
+        opt, stats = jit.optimize_program(naive)
+        assert opt.n_ops <= naive.n_ops
+        assert stats["removed"] == stats["ops_before"] - stats["ops_after"]
+
+    def test_constant_folding_through_steering(self):
+        """A switch whose control wire is constant folds to plain
+        routing: the optimized program loses the steering logic."""
+        from repro.circuits.builder import CircuitBuilder
+
+        b = CircuitBuilder()
+        a, c = b.add_inputs(2)
+        sel = b.const(1)
+        lo, hi = b.switch2(a, c, sel)
+        net = b.build(outputs=[lo, hi])
+        prog, _ = jit.optimize_program(jit.lower(net))
+        assert prog.n_ops == 0  # constant select: outputs are pass-through
+        batch = exhaustive_inputs(2)
+        assert np.array_equal(simulate_interpreted(net, batch),
+                              jit.compile_jit(net).execute(batch))
+
+    def test_codegen_fusion_matches_unfused(self, rng):
+        net = random_netlist(rng, n_inputs=6, n_elements=50, n_outputs=6)
+        prog, _ = jit.optimize_program(jit.lower(net))
+        fused = jit.codegen(prog, fuse=True)
+        unfused = jit.codegen(prog, fuse=False)
+        assert fused.count("\n") < unfused.count("\n")
+        batch = exhaustive_inputs(6)
+        outs = []
+        for src in (fused, unfused):
+            ns = {}
+            exec(compile(src, "<test>", "exec"), ns)
+            fn = next(v for v in ns.values() if callable(v))
+            ins = tuple(int.from_bytes(
+                np.packbits(np.ascontiguousarray(batch[:, k]),
+                            bitorder="little").tobytes(), "little")
+                for k in range(6))
+            outs.append(fn(ins, (1 << batch.shape[0]) - 1))
+        assert outs[0] == outs[1]
+
+    def test_words_kernel_parity(self):
+        """The numba backend's per-word kernel is plain Python with
+        identical semantics (numba itself is optional)."""
+        net = make_sorter(8, "mux_merger")
+        prog, _ = jit.optimize_program(jit.lower(net))
+        src = jit.codegen_words(prog)
+        ns = {"np": np}
+        exec(compile(src, "<words>", "exec"), ns)
+        batch = exhaustive_inputs(8)
+        lanes = batch.shape[0]
+        words = (lanes + 63) // 64
+        IN = np.zeros((8, words), dtype=np.uint64)
+        packed = np.packbits(np.ascontiguousarray(batch.T), axis=1,
+                             bitorder="little")
+        buf = packed.tobytes()
+        stride = packed.shape[1]
+        for k in range(8):
+            IN[k] = np.frombuffer(
+                buf[k * stride:(k + 1) * stride].ljust(words * 8, b"\0"),
+                dtype=np.uint64)
+        OUT = np.zeros((8, words), dtype=np.uint64)
+        ns["_jit_words"](IN, OUT)
+        got = np.unpackbits(OUT.view(np.uint8), axis=1,
+                            bitorder="little")[:, :lanes].T
+        assert np.array_equal(simulate_interpreted(net, batch), got)
+
+
+class TestDiskCache:
+    def _small_net(self, tag="cache-test"):
+        net = make_sorter(8, "prefix")
+        return Netlist(
+            n_wires=net.n_wires, elements=net.elements, inputs=net.inputs,
+            outputs=net.outputs, constants=dict(net.constants),
+            name=tag, control_wires=net.control_wires,
+        )
+
+    def test_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(jit.ENV_JIT_CACHE, str(tmp_path))
+        jit.clear_memory_cache()
+        net = self._small_net()
+        first = jit.get_jit_plan(net)
+        assert first.origin == "compiled"
+        jit.clear_memory_cache()
+        second = jit.get_jit_plan(self._small_net())
+        assert second.origin == "disk-cache"
+        assert second.source == first.source
+        batch = exhaustive_inputs(8)
+        assert np.array_equal(first.execute(batch), second.execute(batch))
+
+    def test_cache_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv(jit.ENV_JIT_CACHE, "off")
+        assert jit.disk_cache_dir() is None
+        jit.clear_memory_cache()
+        net = self._small_net()
+        assert jit.get_jit_plan(net).origin == "compiled"
+        jit.clear_memory_cache()
+        assert jit.get_jit_plan(self._small_net()).origin == "compiled"
+
+    @pytest.mark.parametrize("corruption", [
+        "truncate", "flip-byte", "bad-magic", "empty", "foreign-key",
+    ])
+    def test_corrupt_entry_never_loads(self, tmp_path, monkeypatch,
+                                       corruption):
+        monkeypatch.setenv(jit.ENV_JIT_CACHE, str(tmp_path))
+        jit.clear_memory_cache()
+        jit.get_jit_plan(self._small_net())
+        (entry,) = [p for p in tmp_path.iterdir()
+                    if p.name.endswith(".rjit")]
+        blob = bytearray(entry.read_bytes())
+        if corruption == "truncate":
+            blob = blob[: len(blob) // 2]
+        elif corruption == "flip-byte":
+            blob[len(blob) // 2] ^= 0xFF
+        elif corruption == "bad-magic":
+            blob[:4] = b"XXXX"
+        elif corruption == "empty":
+            blob = bytearray()
+        elif corruption == "foreign-key":
+            # another netlist's (valid, checksummed) entry copied onto
+            # this slot: the embedded-key check must trip
+            other = self._small_net(tag="other-netlist")
+            jit.clear_memory_cache()
+            jit.get_jit_plan(other)
+            other_entry = next(p for p in tmp_path.iterdir()
+                               if p.name.endswith(".rjit") and p != entry)
+            blob = bytearray(other_entry.read_bytes())
+        entry.write_bytes(bytes(blob))
+        jit.clear_memory_cache()
+        before = dict(jit._DISK_STATS)
+        plan = jit.get_jit_plan(self._small_net())
+        assert plan.origin == "compiled"  # recompiled, never mis-loaded
+        assert np.array_equal(
+            simulate_interpreted(self._small_net(), exhaustive_inputs(8)),
+            plan.execute(exhaustive_inputs(8)),
+        )
+        assert jit._DISK_STATS["corrupt"] > before["corrupt"]
+
+    def test_sigkill_during_write_leaves_no_torn_entry(self, tmp_path):
+        """Crash-consistency: SIGKILL a process that is busily writing
+        cache entries; whatever survives on disk must either load
+        cleanly (and agree with the interpreter) or be ignored —
+        a torn entry is never served."""
+        script = textwrap.dedent("""
+            import os, sys
+            sys.path.insert(0, os.environ["REPRO_SRC"])
+            from repro.circuits import jit
+            from repro.circuits.netlist import Netlist
+            from repro.core.api import make_sorter
+            base = make_sorter(8, "prefix")
+            print("ready", flush=True)
+            i = 0
+            while True:  # one fresh netlist (new key) per iteration
+                i += 1
+                net = Netlist(
+                    n_wires=base.n_wires, elements=base.elements,
+                    inputs=base.inputs, outputs=base.outputs,
+                    constants=dict(base.constants),
+                    name=f"victim-{i}",
+                    control_wires=base.control_wires,
+                )
+                jit.get_jit_plan(net)
+        """)
+        env = dict(
+            os.environ,
+            REPRO_SRC=os.path.join(os.path.dirname(__file__), "..", "src"),
+            REPRO_JIT_CACHE=str(tmp_path),
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script], env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        )
+        try:
+            assert proc.stdout.readline().strip() == b"ready"
+            time.sleep(0.35)  # let several writes race the kill
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+        entries = sorted(tmp_path.glob("*.rjit"))
+        assert entries, "writer was killed before any entry completed"
+        loaded = 0
+        for entry in entries:
+            plan = jit._load_disk_by_path(str(entry))
+            if plan is not None:
+                loaded += 1
+                batch = exhaustive_inputs(8)
+                base = make_sorter(8, "prefix")
+                assert np.array_equal(simulate_interpreted(base, batch),
+                                      plan.execute(batch))
+        assert loaded  # the completed entries do load
+
+    def test_clear_disk_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(jit.ENV_JIT_CACHE, str(tmp_path))
+        jit.clear_memory_cache()
+        net = self._small_net()  # kept alive: the memory cache is weak
+        jit.get_jit_plan(net)
+        info = engine_mod.cache_info()
+        assert info["jit"]["disk"]["entries"] == 1
+        assert info["jit"]["memory"] == 1
+        assert engine_mod.clear_disk_cache() == 1
+        assert engine_mod.cache_info()["jit"]["disk"]["entries"] == 0
+
+    def test_clear_plan_cache_clears_jit_memory(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv(jit.ENV_JIT_CACHE, str(tmp_path))
+        jit.clear_memory_cache()
+        net = self._small_net()
+        jit.get_jit_plan(net)
+        assert jit.cache_info()["memory"] == 1
+        engine_mod.clear_plan_cache()
+        assert jit.cache_info()["memory"] == 0
+        # the persistent entries survive clear_plan_cache
+        assert jit.cache_info()["disk"]["entries"] == 1
+
+
+class TestRoutingPolicy:
+    def test_env_force_on(self, monkeypatch, rng):
+        monkeypatch.setenv(jit.ENV_JIT, "1")
+        net = random_netlist(rng, n_inputs=4, n_elements=10, n_outputs=3)
+        assert jit.maybe_jit(net, 1) is not None  # far below MIN_ELEMENTS
+
+    def test_env_force_off(self, monkeypatch):
+        monkeypatch.setenv(jit.ENV_JIT, "0")
+        net = make_sorter(8, "prefix")
+        assert jit.maybe_jit(net, 64) is None
+        with pytest.raises(SimulationError):
+            simulate_jit(net, exhaustive_inputs(8))
+
+    def test_auto_size_window(self, monkeypatch, rng):
+        monkeypatch.delenv(jit.ENV_JIT, raising=False)
+        small = random_netlist(rng, n_inputs=4, n_elements=10, n_outputs=3)
+        assert len(small.elements) < jit.JIT_MIN_ELEMENTS
+        for _ in range(jit.JIT_WARMUP_CALLS + 1):
+            assert jit.maybe_jit(small, 64) is None
+
+    def test_auto_warmup_counter(self, monkeypatch):
+        """One-shot simulations never compile; the warm-up call does."""
+        monkeypatch.delenv(jit.ENV_JIT, raising=False)
+        monkeypatch.setenv(jit.ENV_JIT_CACHE, "off")
+        monkeypatch.setattr(jit, "JIT_MIN_ELEMENTS", 1)
+        jit.clear_memory_cache()
+        net = make_sorter(8, "prefix")
+        for _ in range(jit.JIT_WARMUP_CALLS - 1):
+            assert jit.maybe_jit(net, 64) is None
+        assert jit.maybe_jit(net, 64) is not None
+        # warm now: immediately available on the next call
+        assert jit.maybe_jit(net, 64) is not None
+
+    def test_auto_adopts_existing_disk_entry_before_warmup(
+            self, monkeypatch, tmp_path):
+        """A cold process inherits another process's compiled plan on
+        the *first* call — no warm-up wait when the work is already
+        done (this is what makes repro.parallel workers cheap)."""
+        monkeypatch.setenv(jit.ENV_JIT_CACHE, str(tmp_path))
+        monkeypatch.delenv(jit.ENV_JIT, raising=False)
+        monkeypatch.setattr(jit, "JIT_MIN_ELEMENTS", 1)
+        jit.clear_memory_cache()  # make_sorter memoizes: force a real
+        net = make_sorter(8, "prefix")  # compile so the entry hits disk
+        jit.get_jit_plan(net)  # simulate the "other process"
+        jit.clear_memory_cache()
+        fresh = Netlist(
+            n_wires=net.n_wires, elements=net.elements, inputs=net.inputs,
+            outputs=net.outputs, constants=dict(net.constants),
+            name=net.name, control_wires=net.control_wires,
+        )
+        plan = jit.maybe_jit(fresh, 64)
+        assert plan is not None and plan.origin == "disk-cache"
+
+    def test_simulate_routes_through_jit_when_forced(self, monkeypatch,
+                                                     rng):
+        monkeypatch.setenv(jit.ENV_JIT, "1")
+        net = make_sorter(8, "mux_merger")
+        batch = exhaustive_inputs(8)
+        assert np.array_equal(simulate(net, batch),
+                              simulate_interpreted(net, batch))
+        assert jit.cache_info()["memory"] >= 1
+
+    def test_simulate_engine_never_jits(self, monkeypatch):
+        monkeypatch.setenv(jit.ENV_JIT, "1")
+        jit.clear_memory_cache()
+        net = make_sorter(8, "prefix")
+        simulate_engine(net, exhaustive_inputs(8))
+        assert jit.cache_info()["memory"] == 0
+
+
+class TestJitPlanSurface:
+    def test_source_is_retained_and_compilable(self):
+        net = make_sorter(8, "prefix")
+        plan = jit.compile_jit(net)
+        assert plan.source.startswith("def _jit_kernel(I, M):")
+        ns = {}
+        exec(compile(plan.source, "<re-exec>", "exec"), ns)
+        batch = exhaustive_inputs(8)
+        assert np.array_equal(plan.execute(batch),
+                              jit.compile_jit(net).execute(batch))
+
+    def test_stats_and_repr(self):
+        net = make_sorter(8, "mux_merger")
+        plan = jit.compile_jit(net)
+        assert plan.stats["ops_after"] == plan.n_ops
+        assert plan.stats["codegen_s"] > 0
+        assert plan.n_inputs == 8 and plan.n_outputs == 8
+
+    def test_execute_bits(self):
+        net = make_sorter(4, "prefix")
+        plan = jit.compile_jit(net)
+        batch = exhaustive_inputs(4)
+        lanes = batch.shape[0]
+        ins = [int.from_bytes(
+            np.packbits(np.ascontiguousarray(batch[:, k]),
+                        bitorder="little").tobytes(), "little")
+            for k in range(4)]
+        outs = plan.execute_bits(ins, lanes)
+        ref = simulate_interpreted(net, batch)
+        for j, word in enumerate(outs):
+            for lane in range(lanes):
+                assert (word >> lane) & 1 == ref[lane, j]
+
+    def test_numba_backend_gated(self):
+        pytest.importorskip("numba", reason="numba backend is opt-in")
+        net = make_sorter(8, "prefix")
+        jit.compile_numba(net)

@@ -1,6 +1,6 @@
 """Tests for the supervised execution runtime (repro.runtime).
 
-Covers the recovery ladder (engine -> interpreter -> behavioral), the
+Covers the recovery ladder (jit -> engine -> interpreter -> behavioral), the
 gate-level + software detection gates, deadline/retry guards, the
 structured error hierarchy's backward compatibility, and the statistics
 counters — including the acceptance property that a supervisor handed
@@ -134,13 +134,23 @@ class TestSupervisedHealthy:
             out = sort_bits(bits, network=network, supervised=True)
             assert out.tolist() == sorted(bits.tolist()), (network, length)
 
-    def test_healthy_calls_resolve_at_engine_tier(self, rng):
+    def test_healthy_calls_resolve_at_jit_tier(self, rng):
         sup = get_supervisor("prefix")
         bits = rng.integers(0, 2, 8).astype(np.uint8)
         out, report = sup.sort_verbose(bits)
         assert out.tolist() == sorted(bits.tolist())
-        assert report.tier == "engine"
+        assert report.tier == "jit"
         assert not report.fell_back and not report.detections
+
+    def test_jit_disabled_resolves_at_engine_tier(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT", "0")
+        sup = Supervisor("prefix")
+        bits = rng.integers(0, 2, 8).astype(np.uint8)
+        out, report = sup.sort_verbose(bits)
+        assert out.tolist() == sorted(bits.tolist())
+        assert report.tier == "engine"
+        # degrading past a disabled tier is not a detection event
+        assert not report.detections
 
     def test_stats_accumulate(self, rng):
         sup = get_supervisor("mux_merger")
@@ -148,7 +158,7 @@ class TestSupervisedHealthy:
             sup.sort(rng.integers(0, 2, 8).astype(np.uint8))
         snap = supervisor_stats()["mux_merger"]
         assert snap["calls"] == 3
-        assert snap["tier_used"].get("engine") == 3
+        assert snap["tier_used"].get("jit") == 3
         assert snap["mean_latency_s"] > 0
 
     def test_rejects_unknown_network(self):
@@ -254,7 +264,7 @@ class TestDeadline:
         monkeypatch.setattr(
             type(sup), "_run_tier",
             lambda self, tier, padded, pipelined:
-                slow() if tier == "engine"
+                slow() if tier in ("jit", "engine")
                 else np.sort(padded),
         )
         bits = rng.integers(0, 2, 8).astype(np.uint8)

@@ -5,6 +5,7 @@ Usage::
 
     python tools/sweep.py [--max-lg 12] [--out sweep.json] [--jobs 4]
     python tools/sweep.py --engine-bench [--out BENCH_engine.json]
+    python tools/sweep.py --jit-bench [--out BENCH_jit.json]
     python tools/sweep.py --max-lg 5 --trace trace.jsonl --metrics metrics.json
 
 The default mode emits one record per (network, n) with measured and
@@ -13,6 +14,10 @@ form.  ``--engine-bench`` instead times the element-at-a-time
 interpreter against the compiled level-batched engine
 (:mod:`repro.circuits.engine`) and records the speedup series; feed two
 such files to ``tools/compare_sweeps.py`` to gate throughput drift.
+``--jit-bench`` is the same idea one tier up: it times the engine's
+packed path against the straight-line bit-slice kernels from
+:mod:`repro.circuits.jit`, recording per-record floors plus the one-off
+``compile_s`` codegen cost.
 
 Every (network, n) item runs under a per-item deadline with retry
 (``--item-timeout`` / ``--item-retries``, via
@@ -251,6 +256,105 @@ def run_engine_bench(guard_args=None, quarantine=None, jobs: int = 1) -> list:
     return [o.value for o in outcomes if o.ok]
 
 
+#: (builder name, n, batch rows, mode, floor) series for --jit-bench.
+#: mode "jit-batched" times a B-row random batch through the bit-slice
+#: JIT kernel against the level-batched engine's packed path; "jit-single"
+#: is the same with one row (worst case for pack/unpack amortization).
+#: ``floor`` is the minimum acceptable jit-over-engine speedup: the
+#: acceptance bar is 3x at n >= 256 on the mux-merger network (steering
+#: muxes fold to 3-op XOR chains, which numpy levels can't fuse); prefix
+#: sorters lean on wide prefix-adder cones the engine already batches
+#: well, so their floors are proportionally lower.  Floors sit ~25%
+#: under values measured on a 1-CPU container to absorb timer noise.
+JIT_BENCH_SERIES = [
+    ("mux_merger", 256, 192, "jit-batched", 3.0),
+    ("mux_merger", 512, 128, "jit-batched", 2.0),
+    ("prefix", 256, 128, "jit-batched", 1.5),
+    ("prefix", 512, 128, "jit-batched", 1.0),
+    ("mux_merger", 256, 1, "jit-single", 4.0),
+]
+
+
+def _jit_bench_item(payload) -> dict:
+    """One engine-vs-JIT timing record.
+
+    Both plans are compiled outside the timed region (the JIT's one-off
+    codegen cost is recorded separately as ``compile_s``); the engine
+    side is timed through the pinned :func:`simulate_engine` path so the
+    baseline can never silently route through the JIT itself.  A full
+    differential check runs before any timing.
+    """
+    import numpy as np
+
+    from repro.circuits import get_plan
+    from repro.circuits.jit import compile_jit
+    from repro.core import build_mux_merger_sorter, build_prefix_sorter
+
+    index, name, n, rows, mode, floor = payload
+    builders = {"prefix": build_prefix_sorter,
+                "mux_merger": build_mux_merger_sorter}
+    net = builders[name](n)
+    plan = get_plan(net)
+    jplan = compile_jit(net)  # fresh compile so compile_s is honest
+    rng = np.random.default_rng((0x717, index))
+    batch = rng.integers(0, 2, (rows, n)).astype(np.uint8)
+    if not np.array_equal(jplan.execute(batch), plan.execute(batch)):
+        raise AssertionError(f"jit mismatch on {name} n={n} ({mode})")
+    # Sub-10ms timings on a shared container are noisy; more repeats
+    # cost microseconds and keep the floor gate out of the noise band.
+    engine_s = _best_of(lambda: plan.execute(batch), repeats=10)
+    jit_s = _best_of(lambda: jplan.execute(batch), repeats=10)
+    record = {
+        "network": name,
+        "n": n,
+        "batch": rows,
+        "mode": mode,
+        "elements": len(net.elements),
+        "ops": jplan.n_ops,
+        "engine_s": round(engine_s, 6),
+        "jit_s": round(jit_s, 6),
+        "speedup": round(engine_s / jit_s, 2),
+        "floor": floor,
+        "compile_s": jplan.stats.get("codegen_s"),
+    }
+    print(
+        f"  {name} n={n} B={rows} ({mode}): engine {engine_s:.5f}s "
+        f"jit {jit_s:.5f}s -> {record['speedup']}x "
+        f"(compile {record['compile_s']:.2f}s, {jplan.n_ops} ops)"
+    )
+    return record
+
+
+def run_jit_bench(guard_args=None, quarantine=None, jobs: int = 1) -> list:
+    """Engine-vs-JIT timing records for the drift gate.
+
+    Same caveat as :func:`run_engine_bench`: a serial run is the honest
+    configuration for timing floors.
+    """
+    from repro.parallel import run_items
+
+    quarantine = quarantine if quarantine is not None else []
+    items = [
+        (f"{name}/n={n}/{mode}", (i, name, n, rows, mode, floor))
+        for i, (name, n, rows, mode, floor) in enumerate(JIT_BENCH_SERIES)
+    ]
+    timeout_s, retries, backoff_s = _guard_params(guard_args)
+    outcomes = run_items(
+        items, _jit_bench_item, jobs=jobs,
+        worker_init=_warm_caches,
+        timeout_s=timeout_s, retries=retries, backoff_s=backoff_s,
+        span="sweep.item",
+        on_outcome=_quarantine_reporter("sweep", quarantine),
+    )
+    if guard_args is None:
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"jit-bench item {outcome.id} failed: {outcome.error}"
+                )
+    return [o.value for o in outcomes if o.ok]
+
+
 def _obs_setup(args) -> None:
     """Honour --trace/--metrics by switching repro.obs on."""
     if getattr(args, "trace", None) or getattr(args, "metrics", None):
@@ -284,6 +388,11 @@ def main(argv=None) -> int:
         "--engine-bench",
         action="store_true",
         help="time interpreter vs compiled engine instead of cost/depth/time",
+    )
+    parser.add_argument(
+        "--jit-bench",
+        action="store_true",
+        help="time compiled engine vs bit-slice JIT kernels",
     )
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (1 = serial in-process); "
@@ -322,6 +431,15 @@ def main(argv=None) -> int:
         write_quarantine(out)
         _obs_finish(args)
         print(f"wrote {out}: {len(records)} engine-bench records")
+        return 0
+    if args.jit_bench:
+        out = args.out or pathlib.Path("BENCH_jit.json")
+        records = run_jit_bench(guard_args=args, quarantine=quarantine,
+                                jobs=args.jobs)
+        atomic_write_text(out, json.dumps(records, indent=1))
+        write_quarantine(out)
+        _obs_finish(args)
+        print(f"wrote {out}: {len(records)} jit-bench records")
         return 0
     out = args.out or pathlib.Path("sweep.json")
     if not 2 <= args.min_lg <= args.max_lg <= 14:

@@ -19,6 +19,10 @@ Sections (each emitted only when the trace has the matching events):
   mean toggle fraction of the routing elements in that level; plus the
   busiest elements and adaptive control wires (the empirical view of the
   paper's Table I control behaviour);
+* **jit** — compile-amortization table per netlist from ``jit.compile``
+  / ``jit.execute`` spans and ``jit.cache_hit`` events: one-off codegen
+  seconds against cumulative kernel seconds (and lanes evaluated), with
+  an amortized / NOT amortized verdict per netlist;
 * **supervisor** — outcome table aggregated from ``supervisor.sort``
   spans and ``supervisor.*`` decision events (accepts, fallbacks,
   retries, alarms, deadline hits per network);
@@ -116,6 +120,59 @@ def activity_maps(events):
     return latest
 
 
+def jit_amortization(events):
+    """Per-netlist JIT compile-vs-execute aggregation.
+
+    One ``jit.compile`` span is a one-off codegen cost; every
+    ``jit.execute`` span afterwards is where it pays off.  The report
+    shows both sides (plus ``jit.cache_hit`` disk adoptions, which skip
+    codegen entirely) so a trace answers "did compiling amortize?"
+    directly: ``amortized`` is true once the cumulative engine-side
+    estimate exceeds the codegen spend — conservatively approximated as
+    executions * mean execute time, i.e. assuming the engine were merely
+    as fast as the kernel.
+    """
+    agg = defaultdict(lambda: {
+        "compiles": 0, "codegen_s": 0.0, "ops": 0,
+        "disk_hits": 0, "executions": 0, "execute_s": 0.0, "lanes": 0,
+    })
+    for ev in events:
+        name = ev.get("name")
+        attrs = ev.get("attrs", {})
+        net = attrs.get("netlist", "?")
+        if name == "jit.compile":
+            cell = agg[net]
+            cell["compiles"] += 1
+            cell["codegen_s"] += float(attrs.get("codegen_s")
+                                       or ev.get("dur", 0.0))
+            cell["ops"] = int(attrs.get("ops", 0))
+        elif name == "jit.cache_hit":
+            agg[net]["disk_hits"] += 1
+            agg[net]["ops"] = agg[net]["ops"] or int(attrs.get("ops", 0))
+        elif name == "jit.execute":
+            cell = agg[net]
+            cell["executions"] += 1
+            cell["execute_s"] += float(ev.get("dur", 0.0))
+            cell["lanes"] += int(attrs.get("batch", 0))
+            cell["ops"] = cell["ops"] or int(attrs.get("ops", 0))
+    out = {}
+    for net, cell in agg.items():
+        execs = cell["executions"]
+        mean_exec = cell["execute_s"] / execs if execs else 0.0
+        out[net] = {
+            "compiles": cell["compiles"],
+            "codegen_s": round(cell["codegen_s"], 6),
+            "disk_hits": cell["disk_hits"],
+            "executions": execs,
+            "execute_s": round(cell["execute_s"], 6),
+            "lanes": cell["lanes"],
+            "ops": cell["ops"],
+            "mean_execute_s": round(mean_exec, 6),
+            "amortized": bool(cell["execute_s"] >= cell["codegen_s"]),
+        }
+    return out
+
+
 def supervisor_table(events):
     """Per-network supervisor outcome aggregation."""
     table = defaultdict(lambda: Counter())
@@ -183,6 +240,7 @@ def build_report(events, truncated: bool, corrupt: int, top: int) -> dict:
         "counts": dict(Counter(ev.get("name", "?") for ev in events)),
         "hot_levels": hot_levels(events, top),
         "activity": activity_maps(events),
+        "jit": jit_amortization(events),
         "supervisor": sup_table,
         "supervisor_alarms": sup_alarms,
         "items": stats,
@@ -232,6 +290,20 @@ def _print_activity(report, top: int) -> None:
         if wires:
             line = ", ".join(f"w{w['wire']}={w['frac']:.3f}" for w in wires)
             print(f"    busiest control wires: {line}")
+
+
+def _print_jit(report) -> None:
+    if not report.get("jit"):
+        return
+    print("\njit compile amortization")
+    for net, s in sorted(report["jit"].items()):
+        verdict = "amortized" if s["amortized"] else "NOT amortized"
+        print(f"  {net} ({s['ops']} ops): "
+              f"{s['compiles']} compile(s) {s['codegen_s']:.3f}s, "
+              f"{s['disk_hits']} disk hit(s), "
+              f"{s['executions']} exec {s['execute_s']:.4f}s "
+              f"({s['lanes']} lanes, mean {s['mean_execute_s']:.5f}s) "
+              f"-> {verdict}")
 
 
 def _print_supervisor(report) -> None:
@@ -294,6 +366,7 @@ def main(argv=None) -> int:
     _print_header(report)
     _print_hot_levels(report, args.top)
     _print_activity(report, args.top)
+    _print_jit(report)
     _print_supervisor(report)
     _print_items(report)
     return 0
