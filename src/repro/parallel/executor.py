@@ -66,6 +66,13 @@ __all__ = ["ItemOutcome", "run_items", "split_outcomes"]
 #: the parent declares a worker hung and SIGKILLs it.
 DEFAULT_HANG_GRACE_S = 5.0
 
+#: Environment override for the parent-side hang-watch hard budget in
+#: seconds.  Applies even when no per-item ``timeout_s`` is set (where
+#: the computed budget would otherwise be disabled), so long soaks can
+#: bound a stalled worker without imposing per-item deadlines.  An
+#: explicit ``run_items(..., hang_budget_s=...)`` wins over the env.
+ENV_HANG_BUDGET = "REPRO_PARALLEL_HANG_BUDGET"
+
 #: Safety factor applied to the nominal per-item budget when computing
 #: the parent-side hard kill deadline (the in-worker guard should fire
 #: long before this; the hard deadline only catches guards defeated by
@@ -270,6 +277,34 @@ def _hard_budget(timeout_s: Optional[float], retries: int,
     return nominal * HARD_BUDGET_FACTOR + hang_grace_s
 
 
+def _resolve_hang_budget(
+    hang_budget_s: Optional[float],
+    timeout_s: Optional[float],
+    retries: int,
+    backoff_s: float,
+    hang_grace_s: float,
+) -> Optional[float]:
+    """Effective hang-watch budget: explicit kwarg > env var > computed.
+
+    An explicit or env value <= 0 disables the hang watch outright; an
+    unparseable env value is ignored (announced via a trace event) and
+    the computed budget applies.
+    """
+    if hang_budget_s is not None:
+        return float(hang_budget_s) if hang_budget_s > 0 else None
+    raw = os.environ.get(ENV_HANG_BUDGET)
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            import repro.obs as obs
+
+            obs.trace_event("parallel.bad_hang_budget", value=raw)
+        else:
+            return value if value > 0 else None
+    return _hard_budget(timeout_s, retries, backoff_s, hang_grace_s)
+
+
 class _Worker:
     """Parent-side handle: process, channel, and the item it holds."""
 
@@ -296,6 +331,7 @@ def run_items(
     span: Optional[str] = None,
     on_outcome: Optional[Callable[[ItemOutcome], None]] = None,
     hang_grace_s: float = DEFAULT_HANG_GRACE_S,
+    hang_budget_s: Optional[float] = None,
     mp_context=None,
 ) -> List[ItemOutcome]:
     """Run ``task(payload)`` for every ``(item_id, payload)`` item.
@@ -322,7 +358,13 @@ def run_items(
     enforceable budget by :data:`HARD_BUDGET_FACTOR` plus
     ``hang_grace_s`` is SIGKILLed and handled the same way (this only
     triggers when the in-worker SIGALRM guard was itself defeated, e.g.
-    by signal-blocking C code).
+    by signal-blocking C code).  ``hang_budget_s`` (or the
+    :data:`ENV_HANG_BUDGET` environment variable) overrides that
+    computed budget with an absolute per-item wall-clock cap — it
+    applies even with no ``timeout_s``, which is how long soak runs
+    bound a stalled pool; a stall emits a ``parallel.stalled`` trace
+    event carrying every worker's in-flight item before the kill, so
+    the stall is diagnosable from the trace alone.
     """
     items = [(str(item_id), payload) for item_id, payload in items]
     if jobs is None:
@@ -347,20 +389,22 @@ def run_items(
     return _run_pool(
         items, task, min(int(jobs), len(items)),
         worker_init, init_arg, timeout_s, retries, backoff_s, span,
-        on_outcome, hang_grace_s, mp_context,
+        on_outcome, hang_grace_s, hang_budget_s, mp_context,
     )
 
 
 def _run_pool(
     items, task, jobs, worker_init, init_arg, timeout_s, retries,
-    backoff_s, span, on_outcome, hang_grace_s, mp_context,
+    backoff_s, span, on_outcome, hang_grace_s, hang_budget_s, mp_context,
 ) -> List[ItemOutcome]:
     import repro.obs as obs
 
     ctx = _pick_context(mp_context)
     guard = (timeout_s, retries, backoff_s, span)
     obs_cfg = _parent_obs_config()
-    hard_budget = _hard_budget(timeout_s, retries, backoff_s, hang_grace_s)
+    hard_budget = _resolve_hang_budget(
+        hang_budget_s, timeout_s, retries, backoff_s, hang_grace_s
+    )
 
     def spawn() -> _Worker:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -395,9 +439,21 @@ def _run_pool(
             next_index += 1
             item_id, payload = items[index]
             worker.assigned = (index, item_id, time.monotonic())
-            worker.conn.send((index, item_id, payload))
+            try:
+                worker.conn.send((index, item_id, payload))
+            except (BrokenPipeError, OSError):
+                # The worker died (e.g. a kill storm) between its last
+                # message and this hand-off.  Nothing was delivered, so
+                # put the item back for the replacement worker instead
+                # of quarantining an answer that was never attempted.
+                worker.assigned = None
+                next_index = index
+                retire(worker)
         else:
-            worker.conn.send(None)
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                retire(worker)
 
     def retire(worker: _Worker, reason: Optional[str] = None) -> None:
         """Handle a dead/killed worker: quarantine its item, replenish."""
@@ -480,6 +536,18 @@ def _run_pool(
                 for worker in list(workers):
                     held = worker.assigned
                     if held and now - held[2] > hard_budget:
+                        obs.trace_event(
+                            "parallel.stalled",
+                            hard_budget_s=hard_budget,
+                            stalled_item=held[1],
+                            stalled_pid=worker.proc.pid,
+                            stalled_elapsed_s=now - held[2],
+                            in_flight=[
+                                {"pid": w.proc.pid, "item": w.assigned[1],
+                                 "elapsed_s": now - w.assigned[2]}
+                                for w in workers if w.assigned is not None
+                            ],
+                        )
                         worker.proc.kill()
                         retire(
                             worker,

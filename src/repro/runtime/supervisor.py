@@ -75,11 +75,19 @@ class RecoveryPolicy:
     tier; ``deadline_s`` is the per-attempt wall-clock budget (``None``
     disables it); ``control_checker`` additionally attaches the
     duplicate-and-compare steering checker to combinational hardware.
+
+    ``max_backoff_s`` caps each backoff sleep.  Unset, it defaults to
+    ``deadline_s`` when a deadline is configured: uncapped,
+    ``backoff_s * backoff_factor**k`` grows without bound and a call
+    under a deadline storm can burn more wall-clock *sleeping between
+    retries* than its entire per-attempt budget — the failure mode the
+    chaos soak's deadline injector surfaces.
     """
 
     max_retries: int = 1
     backoff_s: float = 0.0
     backoff_factor: float = 2.0
+    max_backoff_s: Optional[float] = None
     deadline_s: Optional[float] = None
     control_checker: bool = False
     tiers: Tuple[str, ...] = TIERS
@@ -87,9 +95,19 @@ class RecoveryPolicy:
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise BuildError("max_retries must be >= 0")
+        if self.max_backoff_s is not None and self.max_backoff_s < 0:
+            raise BuildError("max_backoff_s must be >= 0")
         unknown = set(self.tiers) - set(TIERS)
         if unknown or not self.tiers:
             raise BuildError(f"tiers must be a non-empty subset of {TIERS}")
+
+    @property
+    def backoff_cap_s(self) -> Optional[float]:
+        """Effective per-sleep cap: ``max_backoff_s``, else the deadline
+        budget, else unlimited."""
+        if self.max_backoff_s is not None:
+            return self.max_backoff_s
+        return self.deadline_s
 
 
 @dataclass
@@ -410,14 +428,17 @@ class Supervisor:
                 obs.trace_event("supervisor.degrade", network=self.network,
                                 to_tier=tier, attempts=attempts)
             delay = policy.backoff_s
+            cap = policy.backoff_cap_s
             for attempt in range(policy.max_retries + 1):
                 attempts += 1
                 if attempt:
                     retries += 1
+                    sleep_s = delay if cap is None else min(delay, cap)
                     obs.trace_event("supervisor.retry", network=self.network,
-                                    tier=tier, attempt=attempt, delay_s=delay)
-                    if delay > 0:
-                        time.sleep(delay)
+                                    tier=tier, attempt=attempt,
+                                    delay_s=sleep_s)
+                    if sleep_s > 0:
+                        time.sleep(sleep_s)
                     delay *= policy.backoff_factor
                 try:
                     with time_limit(policy.deadline_s, f"{tier} sort"):

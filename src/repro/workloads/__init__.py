@@ -1,0 +1,223 @@
+"""Trace-driven workload models: deterministic request streams for soak runs.
+
+The paper's Section IV positions the adaptive sorters as switching-fabric
+building blocks — concentrators and the Fig. 10 radix permuter — which
+in production see sustained, bursty, adversarial *traffic*, not one-shot
+batches.  This package supplies that traffic as reproducible streams:
+a :class:`Workload` couples an **arrival process** (when requests land)
+with a **request model** (what each request asks to sort) and emits
+``(arrival_time, Request)`` pairs that are byte-deterministic under a
+fixed seed — the property every soak, chaos campaign, and resume path
+in ``tools/soak.py`` leans on.
+
+Arrival processes (:mod:`repro.workloads.arrivals`):
+
+* :class:`UniformArrivals` — fixed inter-arrival gap, the closed-loop
+  baseline;
+* :class:`PoissonArrivals` — memoryless open-loop traffic at a declared
+  mean rate;
+* :class:`OnOffArrivals` — Markov-modulated on/off bursts (optionally
+  Pareto-heavy dwell times for self-similar burstiness) whose *declared*
+  mean rate accounts for the off periods.
+
+Request models (:mod:`repro.workloads.models`):
+
+* :class:`BernoulliModel` — i.i.d. 0/1 vectors, the uniform reference
+  load;
+* :class:`ZipfHotKeyModel` — Zipf-skewed hot-key activity across input
+  lanes, the concentrator/permuter "popular destination" pattern;
+* :class:`AdversarialModel` — bit-reversal and transpose permutation
+  bit-planes (the classic worst cases for radix routing) plus
+  steering-cone worst-case vectors (maximum-alternation and
+  reverse-sorted rows that force every adaptive steering decision);
+* :class:`MixedSizeModel` — a declared mix of request widths.
+
+Every generator declares its mean rate (``Workload.declared_rate``) and
+the property tests in ``tests/test_workloads.py`` hold the empirical
+stream to it; :func:`stream_digest` is the canonical fingerprint used to
+prove two streams identical byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import BuildError
+from .arrivals import ArrivalProcess, OnOffArrivals, PoissonArrivals, UniformArrivals
+from .models import (
+    AdversarialModel,
+    BernoulliModel,
+    MixedSizeModel,
+    RequestModel,
+    ZipfHotKeyModel,
+    bit_reversal_permutation,
+    permutation_bit_planes,
+    transpose_permutation,
+    worst_case_vectors,
+)
+
+__all__ = [
+    "AdversarialModel",
+    "ArrivalProcess",
+    "BernoulliModel",
+    "MixedSizeModel",
+    "OnOffArrivals",
+    "PoissonArrivals",
+    "Request",
+    "RequestModel",
+    "UniformArrivals",
+    "WORKLOADS",
+    "Workload",
+    "ZipfHotKeyModel",
+    "bit_reversal_permutation",
+    "make_workload",
+    "permutation_bit_planes",
+    "stream_digest",
+    "transpose_permutation",
+    "worst_case_vectors",
+]
+
+
+def stable_hash(*parts) -> int:
+    """FNV-1a over the string forms of ``parts`` — a stable, processless
+    seed derivation (same recipe as the campaign tools)."""
+    h = 0xCBF29CE484222325
+    for p in parts:
+        for ch in str(p):
+            h = ((h ^ ord(ch)) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class Request:
+    """One sort request drawn from a workload stream."""
+
+    index: int  #: position in the stream (0-based)
+    t: float  #: arrival time in seconds since stream start
+    bits: np.ndarray  #: the 0/1 row to sort (uint8)
+    tag: str  #: request-model label (e.g. ``"zipf"``, ``"bitrev/p2"``)
+
+    @property
+    def n(self) -> int:
+        """Request width (bits per row)."""
+        return int(self.bits.size)
+
+
+class Workload:
+    """An arrival process crossed with a request model, seeded.
+
+    ``stream(count)`` regenerates the identical request sequence every
+    time it is called — the arrival and model RNGs are re-derived from
+    ``seed`` per call — so resuming a soak is just "generate the stream
+    again and skip the first *k* requests".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arrivals: ArrivalProcess,
+        model: RequestModel,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.arrivals = arrivals
+        self.model = model
+        self.seed = int(seed)
+
+    @property
+    def declared_rate(self) -> float:
+        """Declared mean request rate (requests/second)."""
+        return self.arrivals.rate
+
+    def stream(self, count: int, skip: int = 0) -> Iterator[Request]:
+        """Yield ``count - skip`` requests, starting at index ``skip``.
+
+        The full stream is always regenerated from the seed; ``skip``
+        merely suppresses the prefix, so a resumed consumer sees exactly
+        the requests an uninterrupted one would have.
+        """
+        if count < 0 or skip < 0:
+            raise BuildError("stream count/skip must be >= 0")
+        arrival_rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, stable_hash(self.name, "arrivals")])
+        )
+        model_rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, stable_hash(self.name, "model")])
+        )
+        gaps = self.arrivals.gaps(arrival_rng)
+        rows = self.model.rows(model_rng)
+        t = 0.0
+        for index in range(count):
+            t += next(gaps)
+            bits, tag = next(rows)
+            if index >= skip:
+                yield Request(index=index, t=t, bits=bits, tag=tag)
+
+    def digest(self, count: int) -> str:
+        """Fingerprint of the first ``count`` requests (arrival times,
+        widths, and payload bytes) — equal digests mean byte-identical
+        streams."""
+        return stream_digest(self.stream(count))
+
+
+def stream_digest(requests: Iterable[Request]) -> str:
+    """SHA-256 over every request's (time, width, bits) bytes."""
+    h = hashlib.sha256()
+    for req in requests:
+        h.update(np.float64(req.t).tobytes())
+        h.update(np.uint32(req.n).tobytes())
+        h.update(np.ascontiguousarray(req.bits, dtype=np.uint8).tobytes())
+    return h.hexdigest()
+
+
+#: Registered workload names understood by :func:`make_workload` (and by
+#: ``tools/soak.py --workloads``).
+WORKLOADS = ("uniform", "poisson", "bursty", "zipf", "adversarial", "mixed")
+
+
+def make_workload(
+    name: str,
+    n: int = 16,
+    rate: float = 2000.0,
+    seed: int = 0,
+    sizes: Optional[List[int]] = None,
+) -> Workload:
+    """Build one of the registered workloads at width ``n`` and the
+    declared mean ``rate``.
+
+    ``sizes`` overrides the width mix of the ``"mixed"`` workload
+    (default: ``n/2``, ``n``, ``2n`` clipped to >= 4).
+    """
+    if name not in WORKLOADS:
+        raise BuildError(
+            f"unknown workload {name!r}; choose one of {WORKLOADS}"
+        )
+    if name == "uniform":
+        return Workload(name, UniformArrivals(rate), BernoulliModel(n), seed)
+    if name == "poisson":
+        return Workload(name, PoissonArrivals(rate), BernoulliModel(n), seed)
+    if name == "bursty":
+        # Bursts at 4x the mean rate, 25% duty cycle, Pareto-heavy
+        # on-periods: the self-similar-ish stress case.
+        return Workload(
+            name,
+            OnOffArrivals(peak_rate=4.0 * rate, mean_on_s=0.05,
+                          mean_off_s=0.15, heavy_tail=True),
+            BernoulliModel(n),
+            seed,
+        )
+    if name == "zipf":
+        return Workload(name, PoissonArrivals(rate), ZipfHotKeyModel(n), seed)
+    if name == "adversarial":
+        return Workload(name, UniformArrivals(rate), AdversarialModel(n), seed)
+    # mixed request sizes
+    if sizes is None:
+        sizes = sorted({max(4, n // 2), max(4, n), max(4, 2 * n)})
+    return Workload(
+        name, PoissonArrivals(rate),
+        MixedSizeModel(sizes, model=BernoulliModel), seed,
+    )

@@ -1,0 +1,121 @@
+"""Arrival-time processes: when requests land.
+
+Each process is a declared-rate generator of inter-arrival gaps.  The
+*declared* rate is the long-run mean the generator promises (requests
+per second, off periods included); the property tests in
+``tests/test_workloads.py`` hold every process's empirical rate to it.
+All randomness flows through the caller-supplied
+:class:`numpy.random.Generator`, so a seeded stream is byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import BuildError
+
+__all__ = [
+    "ArrivalProcess",
+    "OnOffArrivals",
+    "PoissonArrivals",
+    "UniformArrivals",
+]
+
+
+class ArrivalProcess:
+    """Base class: a declared mean rate plus a gap generator."""
+
+    #: Declared long-run mean arrival rate (requests/second).
+    rate: float
+
+    def __init__(self, rate: float) -> None:
+        if not rate or rate <= 0:
+            raise BuildError("arrival rate must be > 0")
+        self.rate = float(rate)
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        """Infinite generator of inter-arrival gaps in seconds."""
+        raise NotImplementedError
+
+
+class UniformArrivals(ArrivalProcess):
+    """Deterministic fixed-gap arrivals: exactly ``rate`` requests/s."""
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        gap = 1.0 / self.rate
+        while True:
+            yield gap
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential gaps with mean ``1/rate``."""
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        mean = 1.0 / self.rate
+        while True:
+            # Draw in blocks: one numpy call per 1024 gaps, still
+            # consuming the stream deterministically.
+            for gap in rng.exponential(mean, size=1024):
+                yield float(gap)
+
+
+class OnOffArrivals(ArrivalProcess):
+    """Markov-modulated on/off bursts (optionally heavy-tailed).
+
+    While **on**, arrivals are Poisson at ``peak_rate``; while **off**,
+    nothing arrives.  Dwell times are exponential with means
+    ``mean_on_s`` / ``mean_off_s`` — or, with ``heavy_tail=True``,
+    on-periods are Pareto(``alpha``) with the same mean, which gives the
+    long-range-dependent burst structure of self-similar traffic.  The
+    declared mean rate is the duty-cycle-weighted peak rate::
+
+        rate = peak_rate * mean_on_s / (mean_on_s + mean_off_s)
+    """
+
+    def __init__(
+        self,
+        peak_rate: float,
+        mean_on_s: float,
+        mean_off_s: float,
+        heavy_tail: bool = False,
+        alpha: float = 1.5,
+    ) -> None:
+        if peak_rate <= 0 or mean_on_s <= 0 or mean_off_s < 0:
+            raise BuildError("peak_rate/mean_on_s must be > 0, mean_off_s >= 0")
+        if heavy_tail and alpha <= 1.0:
+            raise BuildError("Pareto alpha must be > 1 for a finite mean")
+        self.peak_rate = float(peak_rate)
+        self.mean_on_s = float(mean_on_s)
+        self.mean_off_s = float(mean_off_s)
+        self.heavy_tail = bool(heavy_tail)
+        self.alpha = float(alpha)
+        super().__init__(
+            peak_rate * mean_on_s / (mean_on_s + mean_off_s)
+        )
+
+    def _on_dwell(self, rng: np.random.Generator) -> float:
+        if not self.heavy_tail:
+            return float(rng.exponential(self.mean_on_s))
+        # Pareto with mean mean_on_s: scale x_m = mean * (alpha-1)/alpha.
+        xm = self.mean_on_s * (self.alpha - 1.0) / self.alpha
+        return float(xm * (1.0 + rng.pareto(self.alpha)))
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        mean_gap = 1.0 / self.peak_rate
+        carry = 0.0  # accumulated off time owed to the next arrival
+        while True:
+            dwell = self._on_dwell(rng)
+            elapsed = 0.0
+            while True:
+                gap = float(rng.exponential(mean_gap))
+                if elapsed + gap > dwell:
+                    # Burst over: the remainder of the dwell plus the
+                    # following off period precede the next arrival.
+                    carry += dwell - elapsed
+                    break
+                elapsed += gap
+                yield gap + carry
+                carry = 0.0
+            carry += float(rng.exponential(self.mean_off_s)) if self.mean_off_s else 0.0

@@ -1,0 +1,228 @@
+"""Request models: what each workload request asks the fabric to sort.
+
+A request model turns a seeded RNG into an infinite sequence of
+``(bits, tag)`` rows.  Binary-sorter traffic is 0/1 rows; permuter
+traffic (the Fig. 10 radix permuter routes a permutation by sorting the
+destination address one bit-plane at a time) enters as the bit-planes of
+destination permutations — which is exactly how the adversarial model
+smuggles the classic worst-case permutations (bit-reversal, transpose)
+into a binary-sorter soak.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import BuildError
+
+__all__ = [
+    "AdversarialModel",
+    "BernoulliModel",
+    "MixedSizeModel",
+    "RequestModel",
+    "ZipfHotKeyModel",
+    "bit_reversal_permutation",
+    "permutation_bit_planes",
+    "transpose_permutation",
+    "worst_case_vectors",
+]
+
+
+def _require_pow2(n: int, what: str) -> int:
+    if n < 2 or n & (n - 1):
+        raise BuildError(f"{what} requires a power-of-two width, got {n}")
+    return int(n)
+
+
+class RequestModel:
+    """Base class: an infinite seeded generator of ``(bits, tag)`` rows."""
+
+    def rows(self, rng: np.random.Generator) -> Iterator[Tuple[np.ndarray, str]]:
+        raise NotImplementedError
+
+
+class BernoulliModel(RequestModel):
+    """i.i.d. Bernoulli(``p``) rows of width ``n`` — the uniform load."""
+
+    def __init__(self, n: int, p: float = 0.5) -> None:
+        if n < 1:
+            raise BuildError("width must be >= 1")
+        if not 0.0 < p < 1.0:
+            raise BuildError("p must be in (0, 1)")
+        self.n = int(n)
+        self.p = float(p)
+
+    def rows(self, rng: np.random.Generator) -> Iterator[Tuple[np.ndarray, str]]:
+        while True:
+            block = (rng.random((256, self.n)) < self.p).astype(np.uint8)
+            for row in block:
+                yield row, "bernoulli"
+
+
+class ZipfHotKeyModel(RequestModel):
+    """Zipf-skewed hot-key activity across the ``n`` input lanes.
+
+    Lane *i* is active in a request with probability proportional to the
+    Zipf weight of its (seeded-shuffled) rank — a handful of hot lanes
+    fire in nearly every request while the tail idles, the canonical
+    "popular destination" pattern for concentrator/permuter traffic.
+    ``load`` is the mean fraction of active lanes per request.
+    """
+
+    def __init__(self, n: int, s: float = 1.2, load: float = 0.5) -> None:
+        if n < 1:
+            raise BuildError("width must be >= 1")
+        if s <= 0:
+            raise BuildError("Zipf exponent s must be > 0")
+        if not 0.0 < load < 1.0:
+            raise BuildError("load must be in (0, 1)")
+        self.n = int(n)
+        self.s = float(s)
+        self.load = float(load)
+
+    def lane_probabilities(self, rng: np.random.Generator) -> np.ndarray:
+        """Per-lane activation probabilities (consumes one shuffle).
+
+        Water-filled so the mean is *exactly* ``load``: Zipf weights are
+        scaled to the target mass, lanes that would exceed probability 1
+        saturate (the "hot lane fires every request" regime), and the
+        excess mass redistributes over the remaining lanes — clipping
+        alone would silently shed mass and under-deliver the declared
+        load.
+        """
+        weights = 1.0 / np.arange(1, self.n + 1, dtype=np.float64) ** self.s
+        probs = np.zeros(self.n, dtype=np.float64)
+        free = np.ones(self.n, dtype=bool)
+        remaining = self.load * self.n
+        while remaining > 1e-12 and free.any():
+            scaled = weights[free] * (remaining / weights[free].sum())
+            if scaled.max() < 1.0:
+                probs[free] = scaled
+                break
+            idx = np.flatnonzero(free)
+            saturated = idx[scaled >= 1.0]
+            probs[saturated] = 1.0
+            free[saturated] = False
+            remaining = self.load * self.n - probs.sum()
+        rng.shuffle(probs)  # hot lanes land at seeded positions
+        return probs
+
+    def rows(self, rng: np.random.Generator) -> Iterator[Tuple[np.ndarray, str]]:
+        probs = self.lane_probabilities(rng)
+        while True:
+            block = (rng.random((256, self.n)) < probs).astype(np.uint8)
+            for row in block:
+                yield row, "zipf"
+
+
+# -- adversarial structure ----------------------------------------------------
+
+
+def bit_reversal_permutation(n: int) -> np.ndarray:
+    """The bit-reversal permutation on ``n = 2**m`` points."""
+    m = _require_pow2(n, "bit_reversal_permutation").bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(m):
+        rev |= ((idx >> b) & 1) << (m - 1 - b)
+    return rev
+
+
+def transpose_permutation(n: int) -> np.ndarray:
+    """The perfect-shuffle (matrix transpose) permutation on ``n = 2**m``:
+    destination = left-rotation of the source's ``m``-bit address."""
+    m = _require_pow2(n, "transpose_permutation").bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    return ((idx << 1) | (idx >> (m - 1))) & (n - 1)
+
+
+def permutation_bit_planes(perm: np.ndarray) -> np.ndarray:
+    """Destination-address bit-planes of a permutation, LSB first.
+
+    The Fig. 10 radix permuter realizes ``perm`` by binary-sorting each
+    of these ``lg n`` rows in turn; a permutation whose planes stress
+    the steering cones is therefore a worst case *for the sorter*.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    m = _require_pow2(perm.size, "permutation_bit_planes").bit_length() - 1
+    return np.stack([
+        ((perm >> b) & 1).astype(np.uint8) for b in range(m)
+    ])
+
+
+def worst_case_vectors(n: int) -> List[Tuple[np.ndarray, str]]:
+    """Steering-cone worst-case rows (after Sergeev's structure analysis
+    of small sorting networks): maximum-alternation rows force every
+    adaptive steering element to switch, and the reverse-sorted row
+    maximizes displacement through the merge cone."""
+    alt = (np.arange(n) & 1).astype(np.uint8)
+    return [
+        (alt, "alternating"),
+        ((1 - alt).astype(np.uint8), "alternating-inv"),
+        (np.concatenate([np.ones(n // 2, dtype=np.uint8),
+                         np.zeros(n - n // 2, dtype=np.uint8)]), "reverse-sorted"),
+    ]
+
+
+class AdversarialModel(RequestModel):
+    """Deterministic cycle through the adversarial family at width ``n``:
+    every bit-plane of the bit-reversal and transpose permutations, then
+    the steering-cone worst-case vectors.  No randomness — the stream is
+    the same regardless of seed, by design."""
+
+    def __init__(self, n: int) -> None:
+        _require_pow2(n, "AdversarialModel")
+        self.n = int(n)
+        family: List[Tuple[np.ndarray, str]] = []
+        for name, perm in (("bitrev", bit_reversal_permutation(n)),
+                           ("transpose", transpose_permutation(n))):
+            for b, plane in enumerate(permutation_bit_planes(perm)):
+                family.append((plane, f"{name}/p{b}"))
+        family.extend(worst_case_vectors(n))
+        self.family = family
+
+    def rows(self, rng: np.random.Generator) -> Iterator[Tuple[np.ndarray, str]]:
+        k = 0
+        while True:
+            bits, tag = self.family[k % len(self.family)]
+            yield bits.copy(), tag
+            k += 1
+
+
+class MixedSizeModel(RequestModel):
+    """A declared mix of request widths over an inner model per width.
+
+    ``sizes`` / ``weights`` declare the width distribution (weights
+    default to uniform); ``model`` is a factory ``n -> RequestModel``
+    for the per-width payload (default :class:`BernoulliModel`).
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        weights: Sequence[float] = None,
+        model: Callable[[int], RequestModel] = None,
+    ) -> None:
+        if not sizes:
+            raise BuildError("MixedSizeModel needs at least one size")
+        self.sizes = [int(s) for s in sizes]
+        if weights is None:
+            weights = [1.0] * len(self.sizes)
+        if len(weights) != len(self.sizes):
+            raise BuildError("weights must match sizes")
+        total = float(sum(weights))
+        if total <= 0:
+            raise BuildError("weights must sum to > 0")
+        self.weights = [float(w) / total for w in weights]
+        self.model = model or BernoulliModel
+
+    def rows(self, rng: np.random.Generator) -> Iterator[Tuple[np.ndarray, str]]:
+        inner = {n: self.model(n).rows(rng) for n in self.sizes}
+        probs = np.asarray(self.weights)
+        while True:
+            for pick in rng.choice(len(self.sizes), size=256, p=probs):
+                n = self.sizes[int(pick)]
+                bits, tag = next(inner[n])
+                yield bits, f"{tag}/n{n}"

@@ -391,3 +391,93 @@ class TestBatchAPIs:
         assert [r.tier for r in par_reports] == [r.tier for r in ser_reports]
         # every shard's reports were folded into the parent's stats
         assert par_sup.stats.snapshot()["calls"] == len(seqs)
+
+
+def _nap_if_stuck(x):
+    if x == "nap":
+        time.sleep(30.0)
+    return x
+
+
+class TestHangBudget:
+    """The configurable parent-side hang watch: explicit kwarg > env var
+    > computed worst-case budget, plus the ``parallel.stalled`` trace
+    event that records per-worker in-flight state before the kill."""
+
+    def test_resolution_order(self, monkeypatch):
+        from repro.parallel.executor import ENV_HANG_BUDGET, _resolve_hang_budget
+
+        monkeypatch.delenv(ENV_HANG_BUDGET, raising=False)
+        # computed: no timeout -> no watch; with timeout -> factor + grace
+        assert _resolve_hang_budget(None, None, 0, 0.0, 5.0) is None
+        computed = _resolve_hang_budget(None, 1.0, 0, 0.0, 5.0)
+        assert computed is not None and computed > 5.0
+        # env overrides computed
+        monkeypatch.setenv(ENV_HANG_BUDGET, "42.5")
+        assert _resolve_hang_budget(None, 1.0, 0, 0.0, 5.0) == 42.5
+        assert _resolve_hang_budget(None, None, 0, 0.0, 5.0) == 42.5
+        # env <= 0 disables outright
+        monkeypatch.setenv(ENV_HANG_BUDGET, "0")
+        assert _resolve_hang_budget(None, 1.0, 0, 0.0, 5.0) is None
+        # explicit kwarg beats the env either way
+        monkeypatch.setenv(ENV_HANG_BUDGET, "42.5")
+        assert _resolve_hang_budget(7.0, 1.0, 0, 0.0, 5.0) == 7.0
+        assert _resolve_hang_budget(-1.0, 1.0, 0, 0.0, 5.0) is None
+
+    def test_bad_env_value_falls_back_and_announces(self, monkeypatch, tmp_path):
+        from repro.parallel.executor import ENV_HANG_BUDGET, _resolve_hang_budget
+
+        trace = tmp_path / "trace.jsonl"
+        obs.reset()
+        obs.enable(trace_path=str(trace))
+        try:
+            monkeypatch.setenv(ENV_HANG_BUDGET, "not-a-number")
+            computed = _resolve_hang_budget(None, 1.0, 0, 0.0, 5.0)
+            assert computed == _resolve_hang_budget(None, 1.0, 0, 0.0, 5.0)
+            assert computed is not None
+        finally:
+            obs.reset()
+        events = [e for e in read_trace(trace).events
+                  if e.get("name") == "parallel.bad_hang_budget"]
+        assert events and events[0]["attrs"]["value"] == "not-a-number"
+
+    def test_kwarg_budget_kills_hung_worker_and_traces(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        obs.reset()
+        obs.enable(trace_path=str(trace))
+        try:
+            t0 = time.perf_counter()
+            # the "nap" payload sleeps 30s with no per-item deadline:
+            # only the explicit hang budget can reclaim its worker.
+            outcomes = run_items([("stuck", "nap"), ("ok", 1)],
+                                 _nap_if_stuck, jobs=2, hang_budget_s=1.0)
+            elapsed = time.perf_counter() - t0
+        finally:
+            obs.reset()
+        assert elapsed < 20.0
+        stuck, ok = outcomes
+        assert not stuck.ok and "hung past hard budget" in stuck.error
+        assert ok.ok and ok.value == 1
+        stalled = [e for e in read_trace(trace).events
+                   if e.get("name") == "parallel.stalled"]
+        assert len(stalled) == 1
+        attrs = stalled[0]["attrs"]
+        assert attrs["stalled_item"] == "stuck"
+        assert attrs["hard_budget_s"] == 1.0
+        assert attrs["stalled_elapsed_s"] >= 1.0
+        flight = {w["item"]: w for w in attrs["in_flight"]}
+        assert "stuck" in flight  # the fast item may already be done
+        assert flight["stuck"]["pid"] == attrs["stalled_pid"]
+        assert flight["stuck"]["elapsed_s"] >= 1.0
+
+    def test_env_budget_applies_via_run_items(self, monkeypatch):
+        from repro.parallel.executor import ENV_HANG_BUDGET
+
+        monkeypatch.setenv(ENV_HANG_BUDGET, "1.0")
+        t0 = time.perf_counter()
+        outcomes = run_items([("stuck", "nap"), ("ok", 2)],
+                             _nap_if_stuck, jobs=2)
+        assert time.perf_counter() - t0 < 20.0
+        assert not outcomes[0].ok
+        assert "hung past hard budget" in outcomes[0].error
+        assert outcomes[1].ok and outcomes[1].value == 2

@@ -333,3 +333,60 @@ class TestCacheLRU:
         for t in threads:
             t.join()
         assert not errors
+
+
+class TestBackoffCap:
+    """``RecoveryPolicy.max_backoff_s``: the per-sleep cap that keeps a
+    deadline storm from burning more wall-clock sleeping between
+    retries than the attempts themselves cost."""
+
+    def test_validation_and_effective_cap(self):
+        with pytest.raises(BuildError):
+            RecoveryPolicy(max_backoff_s=-0.1)
+        assert RecoveryPolicy().backoff_cap_s is None  # unlimited
+        assert RecoveryPolicy(deadline_s=0.5).backoff_cap_s == 0.5
+        assert RecoveryPolicy(max_backoff_s=0.2,
+                              deadline_s=0.5).backoff_cap_s == 0.2
+        assert RecoveryPolicy(max_backoff_s=0.0).backoff_cap_s == 0.0
+
+    def test_retry_sleeps_are_capped(self, monkeypatch, rng):
+        sup = Supervisor("prefix", policy=RecoveryPolicy(
+            max_retries=2, backoff_s=1e-3, backoff_factor=10.0,
+            max_backoff_s=2e-3, tiers=("engine", "behavioral")))
+        calls = {"n": 0}
+
+        def flaky(self, tier, padded, pipelined):
+            calls["n"] += 1
+            if tier == "engine":
+                raise SimulationError("chaos")
+            return np.sort(padded)
+
+        monkeypatch.setattr(type(sup), "_run_tier", flaky)
+        slept = []
+        monkeypatch.setattr(
+            "repro.runtime.supervisor.time.sleep", slept.append)
+        bits = rng.integers(0, 2, 8).astype(np.uint8)
+        out, report = sup.sort_verbose(bits)
+        assert out.tolist() == sorted(bits.tolist())
+        assert report.fell_back and report.retries == 2
+        # uncapped the sleeps would be 1ms then 10ms; the cap clamps
+        # the second retry to 2ms
+        assert slept == [pytest.approx(1e-3), pytest.approx(2e-3)]
+
+    def test_uncapped_policy_still_grows(self, monkeypatch, rng):
+        sup = Supervisor("prefix", policy=RecoveryPolicy(
+            max_retries=2, backoff_s=1e-3, backoff_factor=10.0,
+            tiers=("engine", "behavioral")))
+
+        def flaky(self, tier, padded, pipelined):
+            if tier == "engine":
+                raise SimulationError("chaos")
+            return np.sort(padded)
+
+        monkeypatch.setattr(type(sup), "_run_tier", flaky)
+        slept = []
+        monkeypatch.setattr(
+            "repro.runtime.supervisor.time.sleep", slept.append)
+        bits = rng.integers(0, 2, 8).astype(np.uint8)
+        sup.sort_verbose(bits)
+        assert slept == [pytest.approx(1e-3), pytest.approx(1e-2)]

@@ -1,0 +1,250 @@
+"""Property tests for the trace-driven workload generators.
+
+Three invariants every workload declares (and the soak driver leans on):
+
+* **byte-determinism** — the same ``(name, n, rate, seed)`` regenerates
+  the identical ``(arrival_time, bits)`` stream, fingerprinted by
+  :func:`repro.workloads.stream_digest`;
+* **declared rates are honest** — the empirical arrival rate of a long
+  stream matches ``Workload.declared_rate`` within process-appropriate
+  tolerance (exact for uniform, statistical for Poisson/bursty);
+* **adversarial structure is genuine** — the bit-reversal and transpose
+  generators are actual permutations whose bit-planes reconstruct them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BuildError
+from repro.workloads import (
+    WORKLOADS,
+    AdversarialModel,
+    MixedSizeModel,
+    OnOffArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+    ZipfHotKeyModel,
+    bit_reversal_permutation,
+    make_workload,
+    permutation_bit_planes,
+    stream_digest,
+    transpose_permutation,
+    worst_case_vectors,
+)
+
+seeds = st.integers(0, 2**31 - 1)
+pow2_n = st.sampled_from([4, 8, 16, 32])
+
+
+# -- byte-determinism ---------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(name=st.sampled_from(WORKLOADS), seed=seeds, n=pow2_n)
+def test_same_seed_same_digest(name, seed, n):
+    a = make_workload(name, n=n, rate=500.0, seed=seed).digest(64)
+    b = make_workload(name, n=n, rate=500.0, seed=seed).digest(64)
+    assert a == b
+
+
+@settings(max_examples=20, deadline=None)
+@given(name=st.sampled_from(("uniform", "poisson", "bursty", "zipf", "mixed")),
+       seed=seeds, n=pow2_n)
+def test_different_seed_different_digest(name, seed, n):
+    a = make_workload(name, n=n, rate=500.0, seed=seed).digest(64)
+    b = make_workload(name, n=n, rate=500.0, seed=seed + 1).digest(64)
+    assert a != b  # randomness actually flows from the seed
+
+
+@settings(max_examples=20, deadline=None)
+@given(name=st.sampled_from(WORKLOADS), seed=seeds,
+       skip=st.integers(0, 40))
+def test_skip_resumes_identical_tail(name, seed, skip):
+    """Resume = regenerate and skip: the tail must be the full stream's."""
+    wl = make_workload(name, n=8, rate=500.0, seed=seed)
+    full = list(wl.stream(48))
+    tail = list(wl.stream(48, skip=skip))
+    assert stream_digest(tail) == stream_digest(full[skip:])
+    assert [r.index for r in tail] == list(range(skip, 48))
+
+
+def test_digest_covers_times_widths_and_bits():
+    wl = make_workload("uniform", n=8, seed=1)
+    reqs = list(wl.stream(8))
+    base = stream_digest(reqs)
+
+    def mutated(field):
+        import dataclasses
+
+        rows = [dataclasses.replace(r, **field(r)) for r in reqs]
+        return stream_digest(rows)
+
+    assert mutated(lambda r: {"t": r.t + 1e-9}) != base
+    flipped = reqs[3].bits.copy()
+    flipped[0] ^= 1
+    rows = list(reqs)
+    import dataclasses
+
+    rows[3] = dataclasses.replace(rows[3], bits=flipped)
+    assert stream_digest(rows) != base
+
+
+# -- declared rates -----------------------------------------------------------
+
+
+def _empirical_rate(arrivals, seed, count=4000):
+    rng = np.random.default_rng(seed)
+    gaps = arrivals.gaps(rng)
+    total = sum(next(gaps) for _ in range(count))
+    return count / total
+
+
+@settings(max_examples=15, deadline=None)
+@given(rate=st.floats(10.0, 1e5), seed=seeds)
+def test_uniform_rate_exact(rate, seed):
+    assert _empirical_rate(UniformArrivals(rate), seed, 100) == pytest.approx(
+        rate, rel=1e-9
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(rate=st.floats(100.0, 1e4), seed=seeds)
+def test_poisson_rate_within_tolerance(rate, seed):
+    # 4000 exponential gaps: sample mean is within ~5 sigma of 1/rate
+    # with sigma = 1/(rate*sqrt(4000)) ~ 1.6% -> 8% bound, near-zero flake.
+    assert _empirical_rate(PoissonArrivals(rate), seed) == pytest.approx(
+        rate, rel=0.08
+    )
+
+
+def test_onoff_declared_rate_accounts_for_off_time():
+    """Only ~50 on/off cycles fit in 20k arrivals, so the empirical
+    rate of one seed scatters ~15%; averaging a fixed seed set makes
+    the check deterministic while still catching a broken duty-cycle
+    calculation (off by 4x)."""
+    arr = OnOffArrivals(peak_rate=8000.0, mean_on_s=0.05, mean_off_s=0.15)
+    assert arr.rate == pytest.approx(2000.0)
+    mean = np.mean([_empirical_rate(arr, seed, 20000) for seed in range(8)])
+    assert mean == pytest.approx(arr.rate, rel=0.15)
+
+
+def test_onoff_heavy_tail_rate_fixed_seeds():
+    """Pareto(1.5) dwells have infinite variance, so seed-randomized
+    rate checks flake by construction; fixed seeds make this exact and
+    still catch a broken duty-cycle calculation (which would be off by
+    4x, far outside the band)."""
+    arr = OnOffArrivals(peak_rate=8000.0, mean_on_s=0.05, mean_off_s=0.15,
+                        heavy_tail=True)
+    assert arr.rate == pytest.approx(2000.0)
+    for seed in (0, 1, 2):
+        assert _empirical_rate(arr, seed, 50000) == pytest.approx(
+            arr.rate, rel=0.6
+        )
+
+
+def test_declared_rate_is_workload_property():
+    for name in WORKLOADS:
+        wl = make_workload(name, n=8, rate=1234.0, seed=0)
+        assert wl.declared_rate == pytest.approx(1234.0)
+
+
+# -- adversarial structure ----------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(m=st.integers(1, 8))
+def test_bit_reversal_is_an_involution_permutation(m):
+    n = 1 << m
+    rev = bit_reversal_permutation(n)
+    assert sorted(rev.tolist()) == list(range(n))  # genuine permutation
+    assert np.array_equal(rev[rev], np.arange(n))  # reversing twice = id
+
+
+@settings(max_examples=10, deadline=None)
+@given(m=st.integers(1, 8))
+def test_transpose_is_a_permutation_of_order_m(m):
+    n = 1 << m
+    tr = transpose_permutation(n)
+    assert sorted(tr.tolist()) == list(range(n))
+    walk = np.arange(n)
+    for _ in range(m):  # m rotations of an m-bit address = identity
+        walk = tr[walk]
+    assert np.array_equal(walk, np.arange(n))
+
+
+@settings(max_examples=10, deadline=None)
+@given(m=st.integers(1, 6), seed=seeds)
+def test_bit_planes_reconstruct_the_permutation(m, seed):
+    n = 1 << m
+    perm = np.random.default_rng(seed).permutation(n)
+    planes = permutation_bit_planes(perm)
+    assert planes.shape == (m, n)
+    rebuilt = sum(planes[b].astype(np.int64) << b for b in range(m))
+    assert np.array_equal(rebuilt, perm)
+
+
+def test_adversarial_model_is_seed_independent_and_cycles():
+    model = AdversarialModel(16)
+    a = [bits.tobytes() for bits, _ in _take(model.rows(np.random.default_rng(0)), 40)]
+    b = [bits.tobytes() for bits, _ in _take(model.rows(np.random.default_rng(99)), 40)]
+    assert a == b  # no randomness by design
+    period = len(model.family)  # 2 * lg(16) planes + 3 worst-case rows = 11
+    assert a[period:2 * period] == a[:period]  # cycles exactly
+
+
+def test_worst_case_vectors_shape():
+    for bits, tag in worst_case_vectors(16):
+        assert bits.size == 16 and set(np.unique(bits)) <= {0, 1}
+    tags = [t for _, t in worst_case_vectors(16)]
+    assert "reverse-sorted" in tags and "alternating" in tags
+
+
+def _take(it, k):
+    return [next(it) for _ in range(k)]
+
+
+# -- model-level properties ---------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds)
+def test_zipf_mean_load_matches_declared(seed):
+    model = ZipfHotKeyModel(32, load=0.5)
+    probs = model.lane_probabilities(np.random.default_rng(seed))
+    assert probs.mean() == pytest.approx(0.5, rel=0.05)
+    rows = _take(model.rows(np.random.default_rng(seed)), 600)
+    density = np.mean([bits.mean() for bits, _ in rows])
+    assert density == pytest.approx(0.5, abs=0.05)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds)
+def test_mixed_sizes_come_from_the_declared_set(seed):
+    sizes = [4, 8, 32]
+    model = MixedSizeModel(sizes)
+    widths = {bits.size for bits, _ in
+              _take(model.rows(np.random.default_rng(seed)), 200)}
+    assert widths <= set(sizes)
+    assert len(widths) > 1  # the mix actually mixes
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def test_rejections():
+    with pytest.raises(BuildError):
+        make_workload("nope")
+    with pytest.raises(BuildError):
+        UniformArrivals(0.0)
+    with pytest.raises(BuildError):
+        OnOffArrivals(1.0, 0.1, 0.1, heavy_tail=True, alpha=1.0)
+    with pytest.raises(BuildError):
+        AdversarialModel(12)  # not a power of two
+    with pytest.raises(BuildError):
+        MixedSizeModel([])
+    with pytest.raises(BuildError):
+        ZipfHotKeyModel(8, load=0.0)
+    with pytest.raises(BuildError):
+        list(make_workload("uniform").stream(-1))

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Compare two sweep JSON files (tools/sweep.py output) and report drift.
+"""Compare two benchmark/sweep JSON files and report drift.
 
 Usage::
 
@@ -7,20 +7,33 @@ Usage::
     python tools/compare_sweeps.py BENCH_engine.base.json BENCH_engine.json \
         --tol 0.3 [--min-speedup 5.0] [--report drift.json]
 
-Two record formats are understood, auto-detected per file:
+Four record formats are understood, auto-detected per file — and a file
+that matches none of them (or mixes several) is a **loud usage error**,
+never a silent skip, so a schema change in any BENCH emitter breaks CI
+instead of quietly un-gating it:
 
-* **cost/depth/time sweeps** (``tools/sweep.py`` default mode): exact
-  structural figures, keyed by ``(network, n)``; any relative change
-  beyond ``--tol`` in either direction is drift.
-* **engine benchmarks** (``tools/sweep.py --engine-bench``): wall-clock
-  interpreter-vs-engine speedups, keyed by ``(network, n, mode)``.
-  Timings are noisy, so only *decreases* in speedup beyond ``--tol``
-  count as drift (a faster engine is never a regression), and
-  ``--min-speedup`` additionally fails any current record whose speedup
-  falls below an absolute floor — this is the gate that keeps future
-  PRs from silently regressing simulation throughput.
+* **structural sweeps** (``tools/sweep.py`` default mode): exact
+  cost/depth/time figures, keyed by ``(network, n)``; any relative
+  change beyond ``--tol`` in either direction is drift.
+* **engine benchmarks** (``tools/sweep.py --engine-bench`` and the JIT /
+  parallel benches): wall-clock speedups, keyed by
+  ``(network, n, mode)``.  Timings are noisy, so only *decreases* beyond
+  ``--tol`` count as drift, and each record's embedded ``floor``
+  (overridable via ``--min-speedup``) is an absolute throughput gate.
+* **overhead benchmarks** (``BENCH_obs_overhead.json``): observability
+  overhead fractions, keyed by ``(network, n, mode)``.  Only *increases*
+  count, compared in absolute fraction points (``--tol 0.02`` = two
+  points of overhead), since relative drift on near-zero fractions is
+  meaningless.
+* **workload soaks** (``tools/soak.py --bench-out``): chaos-soak cell
+  records keyed by ``(workload, chaos, network, n)``.  Throughput
+  *decreases* beyond ``--tol`` are drift, ``floor_rps`` is an absolute
+  throughput gate, and two hard gates apply to the current file alone:
+  ``silent_corruption`` must be 0 and ``slo_pass`` true — a soak that
+  failed its SLOs can never be an acceptable baseline match.
 
-Exit status 1 on drift, 2 on usage errors.
+Exit status 1 on drift, 2 on usage errors (including unrecognized or
+mixed record formats).
 """
 
 import argparse
@@ -28,7 +41,7 @@ import json
 import os
 import pathlib
 import sys
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 # Allow `python tools/compare_sweeps.py` without an exported PYTHONPATH
 # (only needed for --report, which uses repro.ioutil).
@@ -39,25 +52,76 @@ if os.path.isdir(_SRC) and os.path.abspath(_SRC) not in map(os.path.abspath, sys
 FIELDS = ("cost", "depth", "time")
 
 
-def load(path: pathlib.Path) -> Dict[tuple, dict]:
+class SweepFormatError(Exception):
+    """A benchmark file whose records match no known format."""
+
+
+def classify_record(r: dict) -> str:
+    """Name the format one record belongs to, or raise loudly."""
+    if not isinstance(r, dict):
+        raise SweepFormatError(f"record is not an object: {r!r}")
+    if "workload" in r and "throughput_rps" in r:
+        return "workload"
+    if "speedup" in r:
+        return "engine"
+    if "overhead_frac" in r:
+        return "overhead"
+    if all(f in r for f in FIELDS):
+        return "structural"
+    raise SweepFormatError(
+        "unrecognized record (none of workload/engine/overhead/structural): "
+        f"keys {sorted(r)}"
+    )
+
+
+def _key(fmt: str, r: dict) -> tuple:
+    if fmt == "workload":
+        return (r["workload"], r.get("chaos", "none"), r["network"], r["n"])
+    if fmt == "structural":
+        return (r["network"], r["n"])
+    return (r["network"], r["n"], r.get("mode", "batched"))
+
+
+def load(path: pathlib.Path) -> Tuple[Optional[str], Dict[tuple, dict]]:
+    """Parse one file into ``(format, {key: record})``.
+
+    Raises :class:`SweepFormatError` on non-list payloads, unrecognized
+    records, or files mixing formats.  An empty list loads as
+    ``(None, {})`` — format-compatible with anything.
+    """
     records = json.loads(path.read_text())
+    if not isinstance(records, list):
+        raise SweepFormatError(
+            f"{path}: expected a JSON list of records, got {type(records).__name__}"
+        )
+    fmt: Optional[str] = None
     out: Dict[tuple, dict] = {}
     for r in records:
-        if "speedup" in r:  # engine-bench record
-            out[(r["network"], r["n"], r.get("mode", "batched"))] = r
-        else:
-            out[(r["network"], r["n"])] = r
-    return out
+        try:
+            this = classify_record(r)
+        except SweepFormatError as exc:
+            raise SweepFormatError(f"{path}: {exc}") from None
+        if fmt is None:
+            fmt = this
+        elif this != fmt:
+            raise SweepFormatError(
+                f"{path}: mixed record formats ({fmt} and {this})"
+            )
+        out[_key(fmt, r)] = r
+    return fmt, out
 
 
-def _is_engine(records: Dict[tuple, dict]) -> bool:
-    return any("speedup" in r for r in records.values())
+def _one_sided_throughput(name, old, new, tol, what) -> Optional[str]:
+    if new < old:  # only slowdowns count: timings are noisy
+        rel = (old - new) / max(abs(old), 1e-9)
+        if rel > tol:
+            return f"{name}: {what} {old} -> {new} (-{rel:.1%} throughput drift)"
+    return None
 
 
-def compare(baseline: dict, current: dict, tol: float) -> List[str]:
+def compare(fmt: str, baseline: dict, current: dict, tol: float) -> List[str]:
     """Returns human-readable drift lines (empty = no drift)."""
     drifts: List[str] = []
-    engine = _is_engine(baseline) or _is_engine(current)
     for key in sorted(set(baseline) | set(current)):
         name = " @ ".join(f"{k}" for k in key)
         if key not in baseline:
@@ -66,45 +130,80 @@ def compare(baseline: dict, current: dict, tol: float) -> List[str]:
         if key not in current:
             drifts.append(f"{name}: missing from current sweep")
             continue
-        if engine:
-            old, new = baseline[key]["speedup"], current[key]["speedup"]
-            if new < old:  # only slowdowns count: timings are noisy
-                rel = (old - new) / max(abs(old), 1e-9)
+        old_rec, new_rec = baseline[key], current[key]
+        if fmt == "engine":
+            line = _one_sided_throughput(
+                name, old_rec["speedup"], new_rec["speedup"], tol, "speedup"
+            )
+            if line:
+                drifts.append(line)
+        elif fmt == "workload":
+            line = _one_sided_throughput(
+                name, old_rec["throughput_rps"], new_rec["throughput_rps"],
+                tol, "throughput_rps",
+            )
+            if line:
+                drifts.append(line)
+        elif fmt == "overhead":
+            old, new = old_rec["overhead_frac"], new_rec["overhead_frac"]
+            if new - old > tol:  # absolute points; only increases count
+                drifts.append(
+                    f"{name}: overhead_frac {old} -> {new} "
+                    f"(+{new - old:.3f} absolute drift)"
+                )
+        else:  # structural
+            for field in FIELDS:
+                old, new = old_rec[field], new_rec[field]
+                if old == new:
+                    continue
+                rel = abs(new - old) / max(abs(old), 1)
                 if rel > tol:
                     drifts.append(
-                        f"{name}: speedup {old} -> {new} "
-                        f"(-{rel:.1%} throughput drift)"
+                        f"{name}: {field} {old} -> {new} ({rel:+.1%} drift)"
                     )
-            continue
-        for field in FIELDS:
-            old, new = baseline[key][field], current[key][field]
-            if old == new:
-                continue
-            rel = abs(new - old) / max(abs(old), 1)
-            if rel > tol:
-                drifts.append(
-                    f"{name}: {field} {old} -> {new} ({rel:+.1%} drift)"
-                )
     return drifts
 
 
-def check_floor(current: dict, min_speedup=None) -> List[str]:
-    """Absolute throughput floor for engine-bench records.
+def check_floor(fmt: str, current: dict, min_speedup=None) -> List[str]:
+    """Absolute throughput floors.
 
-    Each record may carry its own ``floor`` (written by
-    ``tools/sweep.py --engine-bench`` from the acceptance bars);
-    ``min_speedup`` overrides it globally when given.
+    Engine records carry ``floor`` (speedup; ``min_speedup`` overrides
+    it globally), workload records carry ``floor_rps`` (requests/s).
     """
     failures = []
     for key, r in sorted(current.items()):
-        if "speedup" not in r:
-            continue
-        floor = min_speedup if min_speedup is not None else r.get("floor")
-        if floor is not None and r["speedup"] < floor:
-            name = " @ ".join(f"{k}" for k in key)
+        name = " @ ".join(f"{k}" for k in key)
+        if fmt == "engine":
+            floor = min_speedup if min_speedup is not None else r.get("floor")
+            if floor is not None and r["speedup"] < floor:
+                failures.append(
+                    f"{name}: speedup {r['speedup']}x below floor {floor}x"
+                )
+        elif fmt == "workload":
+            floor = r.get("floor_rps")
+            if floor is not None and r["throughput_rps"] < floor:
+                failures.append(
+                    f"{name}: throughput {r['throughput_rps']:.0f} rps "
+                    f"below floor {floor} rps"
+                )
+    return failures
+
+
+def check_gates(fmt: str, current: dict) -> List[str]:
+    """Hard gates on the current file alone (workload format only):
+    zero silent corruption and a passing soak SLO verdict."""
+    failures = []
+    if fmt != "workload":
+        return failures
+    for key, r in sorted(current.items()):
+        name = " @ ".join(f"{k}" for k in key)
+        if r.get("silent_corruption", 0):
             failures.append(
-                f"{name}: speedup {r['speedup']}x below floor {floor}x"
+                f"{name}: {r['silent_corruption']} silent corruption(s) "
+                "(hard gate: must be 0)"
             )
+        if not r.get("slo_pass", False):
+            failures.append(f"{name}: soak SLO verdict was FAIL (hard gate)")
     return failures
 
 
@@ -130,10 +229,19 @@ def main(argv=None) -> int:
         if not p.is_file():
             print(f"no such file: {p}")
             return 2
-    current = load(args.current)
-    drifts = compare(load(args.baseline), current, args.tol)
-    if _is_engine(current):
-        drifts.extend(check_floor(current, args.min_speedup))
+    try:
+        base_fmt, baseline = load(args.baseline)
+        cur_fmt, current = load(args.current)
+    except (SweepFormatError, ValueError) as exc:
+        print(f"unrecognized benchmark schema: {exc}")
+        return 2
+    if base_fmt is not None and cur_fmt is not None and base_fmt != cur_fmt:
+        print(f"format mismatch: baseline is {base_fmt}, current is {cur_fmt}")
+        return 2
+    fmt = cur_fmt or base_fmt or "structural"
+    drifts = compare(fmt, baseline, current, args.tol)
+    drifts.extend(check_floor(fmt, current, args.min_speedup))
+    drifts.extend(check_gates(fmt, current))
     if args.report is not None:
         from repro.ioutil import atomic_write_json
 
@@ -142,6 +250,7 @@ def main(argv=None) -> int:
             {
                 "baseline": str(args.baseline),
                 "current": str(args.current),
+                "format": fmt,
                 "tol": args.tol,
                 "drifts": drifts,
                 "ok": not drifts,

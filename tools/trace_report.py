@@ -27,8 +27,12 @@ Sections (each emitted only when the trace has the matching events):
   spans and ``supervisor.*`` decision events (accepts, fallbacks,
   retries, alarms, deadline hits per network);
 * **items** — ``sweep.item`` / ``campaign.item`` / ``parallel.item``
-  (and batch-shard) span statistics, plus every quarantine and
-  ``parallel.worker_lost`` event.
+  (and batch-shard) span statistics, plus every quarantine,
+  ``parallel.worker_lost``, and ``parallel.stalled`` event;
+* **soak** — chaos-soak outcome from ``tools/soak.py`` traces:
+  rounds and chunks per workload cell, every chaos injection
+  (``soak.chaos``) grouped by injector, quarantine events, and the
+  final ``soak.verdict`` with its per-gate pass/fail bits.
 
 When per-pid worker shards (``<trace>.shard-<pid>``) are still sitting
 next to the trace — a parallel run whose parent died before merging —
@@ -208,7 +212,8 @@ def item_stats(events):
     stats = {}
     quarantined = []
     for span_name in ("sweep.item", "campaign.item", "parallel.item",
-                      "api.sort_shard", "supervisor.sort_shard"):
+                      "api.sort_shard", "supervisor.sort_shard",
+                      "soak.chunk"):
         spans = [ev for ev in events if ev.get("name") == span_name]
         if not spans:
             continue
@@ -225,9 +230,47 @@ def item_stats(events):
         }
     for ev in events:
         if ev.get("name") in ("sweep.quarantine", "campaign.quarantine",
-                              "parallel.worker_lost"):
-            quarantined.append(ev.get("attrs", {}))
+                              "soak.quarantine", "parallel.worker_lost",
+                              "parallel.stalled"):
+            quarantined.append({"event": ev.get("name"), **ev.get("attrs", {})})
     return stats, quarantined
+
+
+def soak_outcome(events):
+    """Chaos-soak aggregation from ``tools/soak.py`` trace records.
+
+    Returns ``{}`` when the trace has no soak events (the section is
+    skipped), else per-cell round/chunk counts, chaos injections grouped
+    by injector, quarantine totals, and the final verdict event.
+    """
+    cells = defaultdict(lambda: {"rounds": 0, "chunks": 0, "wall_s": 0.0})
+    chaos = defaultdict(lambda: {"injections": 0, "last": None})
+    quarantines = 0
+    verdict = None
+    for ev in events:
+        name = ev.get("name")
+        attrs = ev.get("attrs", {})
+        if name == "soak.round":
+            cell = cells[attrs.get("cell", "?")]
+            cell["rounds"] += 1
+            cell["chunks"] += int(attrs.get("chunks", 0))
+            cell["wall_s"] += float(ev.get("dur", 0.0))
+        elif name == "soak.chaos":
+            entry = chaos[attrs.get("injector", "?")]
+            entry["injections"] += 1
+            entry["last"] = {k: v for k, v in attrs.items() if k != "injector"}
+        elif name == "soak.quarantine":
+            quarantines += 1
+        elif name == "soak.verdict":
+            verdict = attrs  # later wins: the final gate evaluation
+    if not (cells or chaos or verdict):
+        return {}
+    return {
+        "cells": {c: dict(v) for c, v in sorted(cells.items())},
+        "chaos": {c: dict(v) for c, v in sorted(chaos.items())},
+        "quarantines": quarantines,
+        "verdict": verdict,
+    }
 
 
 def build_report(events, truncated: bool, corrupt: int, top: int) -> dict:
@@ -245,6 +288,7 @@ def build_report(events, truncated: bool, corrupt: int, top: int) -> dict:
         "supervisor_alarms": sup_alarms,
         "items": stats,
         "quarantined": quarantined,
+        "soak": soak_outcome(events),
     }
 
 
@@ -337,7 +381,41 @@ def _print_items(report) -> None:
               f"total {s['total_s']:.3f}s, mean {s['mean_s']:.4f}s, "
               f"max {s['max_s']:.4f}s ({s['slowest']})")
     for q in report["quarantined"]:
-        print(f"  QUARANTINED {q.get('item')}: {q.get('error')}")
+        if q.get("event") == "parallel.stalled":
+            held = ", ".join(
+                f"{w.get('item')}@pid{w.get('pid')} ({w.get('elapsed_s', 0):.1f}s)"
+                for w in q.get("in_flight", [])
+            )
+            print(f"  STALLED {q.get('stalled_item')} past "
+                  f"{q.get('hard_budget_s', 0):.1f}s; in flight: {held}")
+        else:
+            print(f"  QUARANTINED {q.get('item')}: "
+                  f"{q.get('error') or q.get('reason')}")
+
+
+def _print_soak(report) -> None:
+    soak = report.get("soak")
+    if not soak:
+        return
+    print("\nchaos soak")
+    for cell, s in soak["cells"].items():
+        print(f"  {cell}: {s['chunks']} chunks over {s['rounds']} round(s), "
+              f"{s['wall_s']:.2f}s")
+    for injector, s in soak["chaos"].items():
+        last = s.get("last") or {}
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(last.items())
+                           if k not in ("round",))
+        print(f"  chaos {injector}: {s['injections']} injection(s)"
+              + (f" (last: {detail})" if detail else ""))
+    if soak["quarantines"]:
+        print(f"  quarantine events: {soak['quarantines']}")
+    verdict = soak.get("verdict")
+    if verdict:
+        gates = {k: v for k, v in verdict.items() if k != "verdict"}
+        failed = [k for k, ok in gates.items() if not ok]
+        print(f"  verdict: {verdict.get('verdict')}"
+              + (f" (failed gates: {', '.join(sorted(failed))})" if failed
+                 else f" ({len(gates)} gates ok)"))
 
 
 def main(argv=None) -> int:
@@ -369,6 +447,7 @@ def main(argv=None) -> int:
     _print_jit(report)
     _print_supervisor(report)
     _print_items(report)
+    _print_soak(report)
     return 0
 
 
