@@ -26,7 +26,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
-from . import analysis, baselines, circuits, components, core, networks, obs, runtime, viz
+from . import analysis, baselines, circuits, components, core, networks, obs, runtime, serve, viz
 from .errors import (
     BuildError,
     CheckerAlarm,
@@ -91,6 +91,7 @@ __all__ = [
     "networks",
     "obs",
     "runtime",
+    "serve",
     "set_cache_limit",
     "sort_bits",
     "sort_bits_many",

@@ -1,0 +1,116 @@
+"""Credit-based admission control, after the zamlet switch's flow control.
+
+The NoC exemplar grants a packet an output only while the destination
+has free buffer credits; everything else waits in bounded input queues
+and upstream sees explicit backpressure.  The service version: a
+:class:`CreditGate` holds a fixed pool of **lane credits** — one credit
+is one queued-or-in-flight fabric lane — and admission is a single
+atomic ``try_acquire``:
+
+* credits available → the request is admitted and the credits move to
+  in-flight until the executed batch releases them;
+* not enough credits → the request is **shed** immediately (a
+  ``status="shed"`` response with a retry hint, never an unbounded
+  queue or a hung caller).
+
+The gate is a pure function of its call sequence — no clocks, no
+randomness — which is what makes shed decisions reproducible under a
+seeded overload (``tests/test_serve.py`` replays an overload schedule
+twice and requires identical decisions).  Credits can never go negative
+(over-release raises instead of corrupting the pool) and never exceed
+capacity; both invariants are property-tested.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from ..errors import BuildError
+
+__all__ = ["CreditGate"]
+
+
+class CreditGate:
+    """Bounded lane-credit pool with atomic acquire/release."""
+
+    def __init__(self, credits: int) -> None:
+        if credits < 1:
+            raise BuildError("credit pool must hold >= 1 credit")
+        self.capacity = int(credits)
+        self._available = int(credits)
+        self._lock = threading.Lock()
+        self._accepted = 0  # acquire calls that succeeded
+        self._shed = 0  # acquire calls refused
+        self._lanes_admitted = 0  # credits handed out, cumulative
+
+    # -- flow control ---------------------------------------------------------
+
+    def try_acquire(self, lanes: int = 1) -> bool:
+        """Atomically take ``lanes`` credits; ``False`` means *shed*.
+
+        A request larger than the whole pool can never be admitted and
+        is refused loudly rather than silently shed forever.
+        """
+        if lanes < 1:
+            raise BuildError("must acquire >= 1 lane credit")
+        if lanes > self.capacity:
+            raise BuildError(
+                f"request needs {lanes} lanes but the pool only holds "
+                f"{self.capacity}; raise the service's credit capacity"
+            )
+        with self._lock:
+            if self._available >= lanes:
+                self._available -= lanes
+                self._accepted += 1
+                self._lanes_admitted += lanes
+                return True
+            self._shed += 1
+            return False
+
+    def release(self, lanes: int = 1) -> None:
+        """Return ``lanes`` credits after their batch completed."""
+        if lanes < 1:
+            raise BuildError("must release >= 1 lane credit")
+        with self._lock:
+            if self._available + lanes > self.capacity:
+                raise BuildError(
+                    f"credit over-release: {self._available} + {lanes} "
+                    f"exceeds capacity {self.capacity}"
+                )
+            self._available += lanes
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def available(self) -> int:
+        with self._lock:
+            return self._available
+
+    @property
+    def in_flight(self) -> int:
+        """Credits currently held by admitted-but-unanswered lanes."""
+        with self._lock:
+            return self.capacity - self._available
+
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return self._shed
+
+    @property
+    def accepted_total(self) -> int:
+        with self._lock:
+            return self._accepted
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters for metrics/runbooks (one consistent read)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "available": self._available,
+                "in_flight": self.capacity - self._available,
+                "accepted": self._accepted,
+                "shed": self._shed,
+                "lanes_admitted": self._lanes_admitted,
+            }

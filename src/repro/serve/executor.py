@@ -1,0 +1,190 @@
+"""Checked batch execution for the service: one engine pass per batch.
+
+The executor owns the *fabric*: per-width self-checking netlists
+(:func:`repro.circuits.checkers.with_checkers` — sortedness +
+ones-count + control duplicate-and-compare alarms) built once and
+reused across the whole request stream, the pipelined-reuse pattern
+Piotrów's periodic merging networks motivate.  Each flushed batch runs
+as **one** simulation pass; at >= 64 lanes the engine's bit-packed
+uint64 path kicks in, which is where batching turns into throughput.
+
+Acceptance mirrors the supervised runtime's two gates, vectorized over
+the batch:
+
+1. every alarm wire of the row must be quiet, and
+2. the row must be monotone with the caller-held input's popcount
+   (which closes the checkers' fault-secure boundary at the primary
+   inputs; for 0/1 rows monotone + popcount is a *complete* check, so
+   an accepted row is provably correct).
+
+Rows failing either gate are **recovered behaviorally** (``np.sort`` of
+the held input) before the response is assembled — a degraded-but-
+correct answer, never a silent corruption.  Whole-pass failures walk
+the same ladder as the supervisor: auto-routed ``simulate`` (JIT →
+engine) → element-at-a-time interpreter → behavioral sort.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..circuits.checkers import CheckedNetlist, with_checkers
+from ..circuits.simulate import simulate, simulate_interpreted
+from ..core.api import make_sorter, next_power_of_two
+from ..errors import BuildError, ReproError
+from .. import obs
+
+__all__ = ["BatchOutcome", "FabricExecutor"]
+
+
+@dataclass
+class BatchOutcome:
+    """Result of one batch pass: verified rows plus what it took."""
+
+    data: np.ndarray  #: (lanes, width) final rows, all provably correct
+    accepted: np.ndarray  #: bool mask — rows the hardware answer survived
+    tier: str  #: "engine" (auto simulate), "interpreter", or "behavioral"
+    alarms: int  #: rows with any checker alarm set
+    invariant_fails: int  #: alarm-quiet rows failing monotone/popcount
+    recovered: int  #: rows replaced by behavioral recovery
+    wall_s: float  #: execution wall-clock for the whole pass
+
+    @property
+    def lanes(self) -> int:
+        return int(self.data.shape[0])
+
+
+class FabricExecutor:
+    """Per-width checked fabric with batch execution and recovery."""
+
+    def __init__(self, network: str = "mux_merger", control: bool = True) -> None:
+        from ..core.api import NETWORKS
+
+        if network not in NETWORKS:
+            raise BuildError(
+                f"unknown network {network!r}; choose one of {NETWORKS}"
+            )
+        if network == "fish":
+            raise BuildError(
+                "the service fabric needs a combinational network "
+                "(checkers attach directly); choose prefix or mux_merger"
+            )
+        self.network = network
+        self.control = bool(control)
+        self._checked: Dict[int, CheckedNetlist] = {}
+        self._lock = threading.Lock()
+
+    # -- hardware -------------------------------------------------------------
+
+    def checked(self, width: int) -> CheckedNetlist:
+        """The self-checking netlist for ``width`` (built once, reused)."""
+        if width < 2 or width & (width - 1):
+            raise BuildError(f"fabric width must be a power of two >= 2, got {width}")
+        with self._lock:
+            hw = self._checked.get(width)
+            if hw is None:
+                plain = make_sorter(width, self.network)
+                hw = with_checkers(
+                    plain, sortedness=True, count=True, control=self.control
+                )
+                self._checked[width] = hw
+            return hw
+
+    def pad_width(self, n: int) -> int:
+        """Fabric width serving an ``n``-bit row (next power of two)."""
+        return next_power_of_two(max(int(n), 2))
+
+    def warm(self, widths) -> None:
+        """Pre-build (and pre-compile) the fabric for the given widths so
+        the first request doesn't pay netlist construction."""
+        for w in widths:
+            hw = self.checked(self.pad_width(w))
+            probe = np.zeros((1, hw.n_data), dtype=np.uint8)
+            simulate(hw.netlist, probe)  # compile the plan now
+
+    # -- execution ------------------------------------------------------------
+
+    def run_batch(self, width: int, rows: np.ndarray) -> BatchOutcome:
+        """Execute one same-width batch with checking and recovery.
+
+        ``rows`` is ``(lanes, width)`` uint8, already padded to the
+        fabric width.  Never raises for hardware/checker trouble — every
+        failure mode degrades to a behaviorally recovered (correct) row.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.uint8)
+        if rows.ndim != 2 or rows.shape[1] != width:
+            raise BuildError(f"batch must be (lanes, {width}), got {rows.shape}")
+        started = time.perf_counter()
+        checked = self.checked(width)
+        expected = None  # computed lazily: most batches never need it
+
+        tier = "engine"
+        data = alarm_rows = None
+        try:
+            out = simulate(checked.netlist, rows)  # auto JIT -> engine
+            data, alarms = checked.split(out)
+            alarm_rows = alarms.any(axis=1)
+        except (ReproError, RuntimeError):
+            try:
+                tier = "interpreter"
+                out = simulate_interpreted(checked.netlist, rows)
+                data, alarms = checked.split(out)
+                alarm_rows = alarms.any(axis=1)
+            except (ReproError, RuntimeError):
+                tier = "behavioral"
+                expected = np.sort(rows, axis=1)
+                data = expected
+                alarm_rows = np.zeros(rows.shape[0], dtype=bool)
+
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        invariant_ok = (np.diff(data.astype(np.int8), axis=1) >= 0).all(axis=1) & (
+            data.sum(axis=1) == rows.sum(axis=1)
+        )
+        accepted = ~alarm_rows & invariant_ok
+        if tier == "behavioral":
+            accepted = np.zeros(rows.shape[0], dtype=bool)
+        n_alarm = int(alarm_rows.sum())
+        n_invariant = int((~invariant_ok & ~alarm_rows).sum())
+        n_recovered = int((~accepted).sum())
+        if not accepted.all():
+            if expected is None:
+                expected = np.sort(rows, axis=1)
+            data = np.where(accepted[:, None], data, expected)
+
+        wall_s = time.perf_counter() - started
+        if obs.OBS.enabled:
+            self._record_metrics(width, rows.shape[0], tier, n_alarm,
+                                 n_recovered, wall_s)
+        return BatchOutcome(
+            data=data,
+            accepted=accepted,
+            tier=tier,
+            alarms=n_alarm,
+            invariant_fails=n_invariant,
+            recovered=n_recovered,
+            wall_s=wall_s,
+        )
+
+    def _record_metrics(self, width, lanes, tier, alarms, recovered, wall_s):
+        reg = obs.OBS.registry
+        net = self.network
+        reg.counter("repro_serve_batches_total",
+                    "Batches executed by accepted tier",
+                    network=net, tier=tier).inc()
+        reg.counter("repro_serve_lanes_total",
+                    "Fabric lanes executed", network=net).inc(lanes)
+        if alarms:
+            reg.counter("repro_serve_alarm_rows_total",
+                        "Batch rows with checker alarms", network=net).inc(alarms)
+        if recovered:
+            reg.counter("repro_serve_recovered_rows_total",
+                        "Rows replaced by behavioral recovery",
+                        network=net).inc(recovered)
+        reg.histogram("repro_serve_batch_seconds",
+                      "Wall-clock per batch pass", network=net,
+                      width=width).observe(wall_s)

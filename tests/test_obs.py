@@ -458,13 +458,18 @@ class TestDocsLinkChecker:
         assert proc.returncode == 1
         assert "MISSING.md" in proc.stdout
 
-    def test_external_and_anchor_links_ignored(self, tmp_path):
+    def test_external_links_ignored_and_anchors_checked(self, tmp_path):
         (tmp_path / "README.md").write_text(
-            "[web](https://example.com) [anchor](#here) "
+            "# Here\n[web](https://example.com) [anchor](#here) "
             "[mail](mailto:x@y.z)\n"
         )
         proc = _run_tool("check_docs_links.py", "--root", tmp_path)
         assert proc.returncode == 0, proc.stdout
+        # in-page anchors are now validated, not skipped
+        (tmp_path / "README.md").write_text("# Here\n[gone](#nowhere)\n")
+        proc = _run_tool("check_docs_links.py", "--root", tmp_path)
+        assert proc.returncode == 1
+        assert "nowhere" in proc.stdout
 
 
 # -- env-var opt-in -----------------------------------------------------------

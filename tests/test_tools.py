@@ -163,3 +163,93 @@ class TestCompareSweepsEngine:
             mod.main([str(a), str(b), "--tol", "0.3", "--min-speedup", "2.0"])
             == 0
         )
+
+
+class TestCheckDocsLinks:
+    def _mod(self):
+        spec = importlib.util.spec_from_file_location(
+            "check_docs_links", TOOLS / "check_docs_links.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def _repo(self, tmp_path, files):
+        for name, text in files.items():
+            path = tmp_path / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+        return tmp_path
+
+    def test_slugify_github_rules(self):
+        mod = self._mod()
+        assert mod.slugify("Quick start") == "quick-start"
+        assert mod.slugify("The `repro.serve` API") == "the-reproserve-api"
+        assert mod.slugify("SLO tuning & shed semantics") == "slo-tuning--shed-semantics"
+        assert mod.slugify("What's in v1.0?") == "whats-in-v10"
+        assert mod.slugify("snake_case stays") == "snake_case-stays"
+        assert mod.slugify("[linked](docs/X.md) heading") == "linked-heading"
+
+    def test_duplicate_headings_get_suffixes(self):
+        mod = self._mod()
+        anchors = mod.heading_anchors("# Setup\n## Setup\ntext\n### Setup\n")
+        assert anchors == {"setup", "setup-1", "setup-2"}
+
+    def test_code_fences_hide_headings_and_links(self, tmp_path):
+        mod = self._mod()
+        anchors = mod.heading_anchors(
+            "# Real\n```sh\n# not a heading\n```\n## Also real\n"
+        )
+        assert anchors == {"real", "also-real"}
+        root = self._repo(tmp_path, {
+            "README.md": "```\n[dead](missing.md)\n```\n[ok](docs/A.md)\n",
+            "docs/A.md": "# A\n",
+        })
+        assert mod.main(["--root", str(root)]) == 0
+
+    def test_good_anchors_pass(self, tmp_path):
+        mod = self._mod()
+        root = self._repo(tmp_path, {
+            "README.md": (
+                "# Top\n## Quick start\n"
+                "[here](#quick-start) and [there](docs/A.md#the-runbook)\n"
+                '<a name="pin"></a>\n[pin](#pin)\n'
+            ),
+            "docs/A.md": "# Title\n## The runbook\n[back](../README.md#top)\n",
+        })
+        assert mod.main(["--root", str(root)]) == 0
+
+    def test_stale_anchor_fails(self, tmp_path, capsys):
+        mod = self._mod()
+        root = self._repo(tmp_path, {
+            "README.md": "# Top\n[gone](#no-such-section)\n",
+        })
+        assert mod.main(["--root", str(root)]) == 1
+        assert "no-such-section" in capsys.readouterr().out
+
+    def test_cross_doc_stale_anchor_fails(self, tmp_path, capsys):
+        mod = self._mod()
+        root = self._repo(tmp_path, {
+            "README.md": "[x](docs/A.md#renamed-away)\n",
+            "docs/A.md": "# Only heading\n",
+        })
+        assert mod.main(["--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "renamed-away" in out and "A.md" in out
+
+    def test_missing_file_still_fails(self, tmp_path, capsys):
+        mod = self._mod()
+        root = self._repo(tmp_path, {"README.md": "[x](docs/NOPE.md#a)\n"})
+        assert mod.main(["--root", str(root)]) == 1
+        assert "missing file" in capsys.readouterr().out
+
+    def test_external_and_nonmd_fragments_skipped(self, tmp_path):
+        mod = self._mod()
+        root = self._repo(tmp_path, {
+            "README.md": (
+                "[w](https://example.com/x#frag) [m](mailto:a@b.c)\n"
+                "[s](tools/x.py#L10)\n"
+            ),
+            "tools/x.py": "pass\n",
+        })
+        assert mod.main(["--root", str(root)]) == 0

@@ -1,26 +1,34 @@
 #!/usr/bin/env python
-"""Fail on dead relative links in the repo's markdown documentation.
+"""Fail on dead relative links and dead anchors in the markdown docs.
 
 Usage::
 
     python tools/check_docs_links.py [--root DIR] [--verbose]
 
 Scans every top-level ``*.md`` file plus ``docs/*.md`` under the root
-(default: the repository) for markdown links and images.  A link is
-checked when it is *relative* — ``http(s)://``, ``mailto:`` and pure
-in-page ``#anchor`` targets are skipped — by resolving it against the
-containing file's directory and requiring the target file or directory
-to exist (any ``#anchor`` suffix is stripped first).
+(default: the repository) for markdown links and images.  Two checks:
 
-Exit status: 0 when every relative link resolves, 1 with one line per
-dead link otherwise.  CI runs this so documentation reshuffles cannot
-silently orphan references.
+* **files** — a *relative* link (``http(s)://``, ``mailto:`` etc. are
+  skipped) must resolve, against the containing file's directory, to an
+  existing file or directory;
+* **anchors** — a ``#fragment`` (in-page ``#anchor`` or cross-doc
+  ``file.md#anchor``) must name a real heading in the target markdown
+  file.  Headings are slugified with GitHub's rules — lowercase, strip
+  punctuation, spaces to hyphens, ``-1``/``-2`` suffixes for duplicate
+  headings — and explicit ``<a name="..."></a>`` / ``<a id="...">``
+  anchors also count.  Fenced code blocks are ignored (a ``# comment``
+  in a shell snippet is not a heading).
+
+Exit status: 0 when every link and anchor resolves, 1 with one line per
+failure otherwise.  CI runs this so documentation reshuffles cannot
+silently orphan references or section fragments.
 """
 
 import argparse
 import pathlib
 import re
 import sys
+import urllib.parse
 
 #: Inline markdown links/images: [text](target) / ![alt](target).
 #: The target group stops at the first unescaped ')' or whitespace
@@ -29,6 +37,51 @@ LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)>\s]+)>?[^)]*\)")
 
 #: Schemes (or scheme-like prefixes) that are not filesystem targets.
 EXTERNAL = ("http://", "https://", "mailto:", "ftp://", "data:")
+
+#: ATX headings: 1-6 '#' then the title text.
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+#: Explicit HTML anchors markdown files sometimes embed.
+HTML_ANCHOR_RE = re.compile(r"<a\s+(?:name|id)=[\"']([^\"']+)[\"']")
+
+#: Characters GitHub drops when slugifying a heading (keeps word chars,
+#: hyphens and spaces; underscores survive via \w).
+_SLUG_STRIP_RE = re.compile(r"[^\w\- ]", re.UNICODE)
+
+#: Inline markdown to unwrap before slugifying: `code`, [text](url),
+#: ![alt](url) — the visible text is what feeds the slug.
+_INLINE_CODE_RE = re.compile(r"`([^`]*)`")
+_INLINE_LINK_RE = re.compile(r"!?\[([^\]]*)\]\([^)]*\)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for a heading's raw markdown text."""
+    text = _INLINE_CODE_RE.sub(r"\1", heading)
+    text = _INLINE_LINK_RE.sub(r"\1", text)
+    return _SLUG_STRIP_RE.sub("", text.lower()).replace(" ", "-")
+
+
+def heading_anchors(text: str) -> set:
+    """Every anchor fragment ``text`` defines (slugs + HTML anchors)."""
+    anchors = set()
+    seen = {}
+    in_fence = False
+    for line in text.splitlines():
+        stripped = line.lstrip()
+        if stripped.startswith("```") or stripped.startswith("~~~"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slug = slugify(match.group(1))
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+        for html in HTML_ANCHOR_RE.finditer(line):
+            anchors.add(html.group(1))
+    return anchors
 
 
 def iter_doc_files(root: pathlib.Path):
@@ -40,26 +93,53 @@ def iter_doc_files(root: pathlib.Path):
 
 def iter_links(text: str):
     """Yield (line_number, target) for every inline link in ``text``."""
+    in_fence = False
     for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.lstrip()
+        if stripped.startswith("```") or stripped.startswith("~~~"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
         for match in LINK_RE.finditer(line):
             yield lineno, match.group(1)
 
 
-def check_file(path: pathlib.Path, root: pathlib.Path):
-    """Return a list of (lineno, target, resolved) dead links in one file."""
+def check_file(path: pathlib.Path, root: pathlib.Path, anchor_cache: dict):
+    """Return a list of (lineno, target, problem) failures in one file.
+
+    ``anchor_cache`` maps resolved markdown paths to their anchor sets so
+    cross-doc fragments are slugified once per target file.
+    """
+
+    def anchors_of(md_path: pathlib.Path) -> set:
+        if md_path not in anchor_cache:
+            anchor_cache[md_path] = heading_anchors(
+                md_path.read_text(encoding="utf-8")
+            )
+        return anchor_cache[md_path]
+
     dead = []
     for lineno, target in iter_links(path.read_text(encoding="utf-8")):
-        if target.startswith(EXTERNAL) or target.startswith("#"):
+        if target.startswith(EXTERNAL):
             continue
-        bare = target.split("#", 1)[0]
-        if not bare:
-            continue
+        bare, _, fragment = target.partition("#")
+        fragment = urllib.parse.unquote(fragment)
         if bare.startswith("/"):
             resolved = (root / bare.lstrip("/")).resolve()
         else:
-            resolved = (path.parent / bare).resolve()
-        if not resolved.exists():
-            dead.append((lineno, target, resolved))
+            resolved = (path.parent / bare).resolve() if bare else path
+        if bare and not resolved.exists():
+            dead.append((lineno, target, f"missing file {resolved}"))
+            continue
+        if fragment:
+            if resolved.suffix.lower() != ".md":
+                continue  # fragments into non-markdown are out of scope
+            if fragment not in anchors_of(resolved):
+                dead.append(
+                    (lineno, target,
+                     f"no heading for #{fragment} in {resolved.name}")
+                )
     return dead
 
 
@@ -75,21 +155,22 @@ def main(argv=None) -> int:
 
     failures = 0
     checked = 0
+    anchor_cache = {}
     for path in iter_doc_files(root):
-        dead = check_file(path, root)
+        dead = check_file(path, root, anchor_cache)
         checked += 1
         if args.verbose:
             n_links = sum(1 for _ in iter_links(path.read_text(encoding="utf-8")))
             print(f"  {path.relative_to(root)}: {n_links} links")
-        for lineno, target, resolved in dead:
+        for lineno, target, problem in dead:
             failures += 1
             print(f"DEAD LINK {path.relative_to(root)}:{lineno}: "
-                  f"({target}) -> {resolved}")
+                  f"({target}) -> {problem}")
     if failures:
         print(f"{failures} dead links across {checked} files")
         return 1
     if args.verbose or checked:
-        print(f"ok: {checked} markdown files, no dead relative links")
+        print(f"ok: {checked} markdown files, no dead links or anchors")
     return 0
 
 
